@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench tables figures verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every parser target.
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s -run=Fuzz ./internal/graph/
+	$(GO) test -fuzz=FuzzReadMetis -fuzztime=30s -run=Fuzz ./internal/graph/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s -run=Fuzz ./internal/graph/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's tables and figures (writes to stdout).
+tables:
+	$(GO) run ./cmd/mlcg-tables -all -runs 5
+
+figures:
+	$(GO) run ./cmd/mlcg-figures -all -runs 5
+
+# The full verification ladder used before a release.
+verify: build test race
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,473 @@
+package mlcg
+
+// Benchmarks mapping one-to-one onto the paper's tables and figures; see
+// DESIGN.md's per-experiment index. Each BenchmarkTableN/BenchmarkFigN
+// exercises the code path behind that table/figure on representative suite
+// graphs; `go run ./cmd/mlcg-tables -all` prints the full row sets.
+
+import (
+	"sync"
+	"testing"
+
+	"mlcg/internal/cluster"
+	"mlcg/internal/coarsen"
+	"mlcg/internal/gen"
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+	"mlcg/internal/partition"
+	"mlcg/internal/spmat"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteAll  []gen.Instance
+)
+
+// benchSuite returns the cached Table I suite.
+func benchSuite() []gen.Instance {
+	suiteOnce.Do(func() {
+		suiteAll = gen.Suite(gen.SuiteOptions{Scale: 1, Seed: 20210517})
+	})
+	return suiteAll
+}
+
+// benchGraph fetches one named suite instance.
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	for _, inst := range benchSuite() {
+		if inst.Name == name {
+			return inst.Graph
+		}
+	}
+	b.Fatalf("no suite instance %q", name)
+	return nil
+}
+
+// representatives: two regular + two skewed graphs spanning the suite.
+var repGraphs = []string{"HV15R", "delaunay24", "kron21", "ppa"}
+
+// BenchmarkTable1Suite measures workload generation (Table I analog).
+func BenchmarkTable1Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gen.Suite(gen.SuiteOptions{Scale: 1, Seed: uint64(i) + 1})
+	}
+}
+
+// BenchmarkTable2Construction measures HEC multilevel coarsening with each
+// construction strategy at full parallelism (Table II analog; the same
+// code at Workers:1 is the Table III host role, covered by
+// BenchmarkFig3Speedup's serial arm).
+func BenchmarkTable2Construction(b *testing.B) {
+	for _, gname := range repGraphs {
+		g := benchGraph(b, gname)
+		for _, bname := range coarsen.BuilderNames() {
+			builder, err := coarsen.BuilderByName(bname)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(gname+"/"+bname, func(b *testing.B) {
+				c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: builder, Seed: 1}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3HostConstruction is the Table III analog: the same
+// pipeline at reduced (host-role) parallelism.
+func BenchmarkTable3HostConstruction(b *testing.B) {
+	g := benchGraph(b, "kron21")
+	for _, bname := range coarsen.BuilderNames() {
+		builder, _ := coarsen.BuilderByName(bname)
+		b.Run(bname, func(b *testing.B) {
+			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: builder, Seed: 1, Workers: 2}
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHECVariants measures the three HEC parallelizations
+// (Section IV.A comparison).
+func BenchmarkHECVariants(b *testing.B) {
+	g := benchGraph(b, "delaunay24")
+	for _, m := range []coarsen.Mapper{coarsen.HEC{}, coarsen.HEC2{}, coarsen.HEC3{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			c := &coarsen.Coarsener{Mapper: m, Builder: coarsen.BuildSort{}, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Mappers measures every coarse-mapping method (Table IV).
+func BenchmarkTable4Mappers(b *testing.B) {
+	for _, gname := range []string{"delaunay24", "kron21"} {
+		g := benchGraph(b, gname)
+		for _, mname := range []string{"hec", "hem", "twohop", "gosh", "goshhec", "mis2"} {
+			mapper, err := coarsen.MapperByName(mname)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(gname+"/"+mname, func(b *testing.B) {
+				c := &coarsen.Coarsener{Mapper: mapper, Builder: coarsen.BuildSort{}, Seed: 1}
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5Spectral measures multilevel spectral bisection with HEC,
+// HEM, and two-hop coarsening (Table V).
+func BenchmarkTable5Spectral(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for _, mname := range []string{"hec", "hem", "twohop"} {
+		mapper, _ := coarsen.MapperByName(mname)
+		b.Run(mname, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sb := &partition.SpectralBisector{
+					Coarsener: coarsen.Coarsener{Mapper: mapper, Builder: coarsen.BuildSort{}, Seed: uint64(i)},
+					Fiedler:   partition.FiedlerOptions{MaxIter: 300},
+					Seed:      uint64(i),
+				}
+				if _, err := sb.Bisect(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable6FM measures the FM pipelines and baselines (Table VI).
+func BenchmarkTable6FM(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	pipelines := map[string]func(uint64) *partition.FMBisector{
+		"fm+hec":  func(s uint64) *partition.FMBisector { return partition.NewHECFM(s, 0) },
+		"metis":   func(s uint64) *partition.FMBisector { return partition.NewMetisLike(s) },
+		"mtmetis": func(s uint64) *partition.FMBisector { return partition.NewMtMetisLike(s, 0) },
+	}
+	for name, mk := range pipelines {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mk(uint64(i)).Bisect(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Rate measures HEC coarsening throughput per graph (Fig 3
+// left: rate = (2m+n)/s, reported here as ns/op over a fixed size).
+func BenchmarkFig3Rate(b *testing.B) {
+	for _, gname := range repGraphs {
+		g := benchGraph(b, gname)
+		b.Run(gname, func(b *testing.B) {
+			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: coarsen.BuildSort{}, Seed: 1}
+			b.SetBytes(g.Size()) // rate appears as MB/s = (2m+n)/s
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Speedup runs the device (parallel) and host (serial) arms
+// of the Fig 3 center comparison.
+func BenchmarkFig3Speedup(b *testing.B) {
+	g := benchGraph(b, "HV15R")
+	for name, workers := range map[string]int{"device-parallel": 0, "host-serial": 1} {
+		b.Run(name, func(b *testing.B) {
+			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: coarsen.BuildSort{}, Seed: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3WeakScaling measures the synthetic families at two scales
+// (Fig 3 right).
+func BenchmarkFig3WeakScaling(b *testing.B) {
+	for _, family := range []string{"rgg", "delaunay", "kron"} {
+		for _, scale := range []int{1, 2} {
+			g, err := gen.FamilyGraph(family, scale, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(family+"/x"+string(rune('0'+scale)), func(b *testing.B) {
+				c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: coarsen.BuildSort{}, Seed: 1}
+				b.SetBytes(g.Size())
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDedupAblation isolates the degree-based one-sided dedup
+// optimization on the kron21 analog (the paper's 25.7x construction-time
+// example).
+func BenchmarkDedupAblation(b *testing.B) {
+	g := benchGraph(b, "kron21")
+	for name, builder := range map[string]coarsen.Builder{
+		"onesided-off": coarsen.BuildSort{SkewThreshold: -1},
+		"onesided-on":  coarsen.BuildSort{ForceOneSided: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: builder, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Fig2Classification measures the heavy-edge classification
+// used by the Fig 1 / Fig 2 reproductions.
+func BenchmarkFig1Fig2Classification(b *testing.B) {
+	g := benchGraph(b, "ppa")
+	for i := 0; i < b.N; i++ {
+		coarsen.ClassifyHeavyEdges(g, uint64(i))
+	}
+}
+
+// Micro-benchmarks of the substrates the tables are built on.
+
+func BenchmarkMicroHeavyNeighbors(b *testing.B) {
+	g := benchGraph(b, "kron21")
+	m, err := coarsen.HEC{}.Map(g, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = m
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (coarsen.HEC{}).Map(g, uint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroFMRefine(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	base := make([]int32, g.N())
+	for i := range base {
+		base[i] = int32(i % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part := append([]int32(nil), base...)
+		partition.RefineFM(g, part, partition.FMOptions{MaxPasses: 2})
+	}
+}
+
+func BenchmarkNestedDissection(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.NestedDissection(g, partition.NDOptions{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRCM(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RCM(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuitorFamily(b *testing.B) {
+	g := benchGraph(b, "delaunay24")
+	for _, m := range []coarsen.Mapper{coarsen.Suitor{}, coarsen.BSuitor{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Map(g, uint64(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCluster(b *testing.B) {
+	g := benchGraph(b, "products")
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Multilevel(g, cluster.Options{TargetClusters: 50, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLouvain(b *testing.B) {
+	g := benchGraph(b, "products")
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Louvain(g, cluster.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectralDrawing(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.SpectralCoordinates(g, partition.DrawOptions{
+			Fiedler: partition.FiedlerOptions{MaxIter: 100},
+			Seed:    uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroFiedler(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for i := 0; i < b.N; i++ {
+		partition.Fiedler(g, nil, uint64(i), partition.FiedlerOptions{MaxIter: 50})
+	}
+}
+
+func BenchmarkMicroCascadicFiedler(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	for i := 0; i < b.N; i++ {
+		if _, _, err := partition.CascadicFiedler(g, partition.CascadicOptions{
+			Fiedler: partition.FiedlerOptions{MaxIter: 50},
+			Seed:    uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKWayPartition(b *testing.B) {
+	g := benchGraph(b, "delaunay24")
+	for _, k := range []int{4, 8} {
+		b.Run(string(rune('0'+k))+"way", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.KWayFM(g, k, partition.KWayOptions{Seed: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMicroParallelRefine(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	base := make([]int32, g.N())
+	for i := range base {
+		base[i] = int32(i % 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part := append([]int32(nil), base...)
+		partition.RefineParallelGreedy(g, part, partition.ParallelRefineOptions{})
+	}
+}
+
+// Substrate micro-benchmarks (the primitives every table is built on).
+
+func BenchmarkMicroRadixSortPairs(b *testing.B) {
+	n := 1 << 18
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	st := uint64(1)
+	for i := range keys {
+		keys[i] = par.SplitMix64(&st)
+		vals[i] = uint64(i)
+	}
+	work := make([]uint64, n)
+	workV := make([]uint64, n)
+	b.SetBytes(int64(n * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, keys)
+		copy(workV, vals)
+		par.RadixSortPairs(work, workV, 0)
+	}
+}
+
+func BenchmarkMicroPrefixSum(b *testing.B) {
+	n := 1 << 20
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i & 7)
+	}
+	dst := make([]int64, n+1)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.PrefixSumInt64(dst, src, 0)
+	}
+}
+
+func BenchmarkMicroRandPerm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		par.RandPerm(1<<17, uint64(i), 0)
+	}
+}
+
+func BenchmarkMicroSpMV(b *testing.B) {
+	g := benchGraph(b, "rgg24")
+	a := spmat.FromGraph(g)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for i := range x {
+		x[i] = float64(i%13) / 13
+	}
+	b.SetBytes(a.NNZ() * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x, 0)
+	}
+}
+
+func BenchmarkMicroSpGEMMTriple(b *testing.B) {
+	g := benchGraph(b, "channel050")
+	a := spmat.FromGraph(g)
+	m, err := coarsen.HEC{}.Map(g, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spmat.PAPt(a, m.M, m.NC, 0)
+	}
+}
+
+func BenchmarkMicroTranspose(b *testing.B) {
+	g := benchGraph(b, "kron21")
+	a := spmat.FromGraph(g)
+	b.SetBytes(a.NNZ() * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Transpose(0)
+	}
+}

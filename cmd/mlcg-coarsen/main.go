@@ -1,0 +1,130 @@
+// mlcg-coarsen runs multilevel coarsening on a graph file (or a generated
+// graph) and prints per-level statistics.
+//
+// Usage:
+//
+//	mlcg-coarsen -in graph.txt -mapper hec -builder sort
+//	mlcg-coarsen -in graph.graph -format metis -quality
+//	mlcg-coarsen -gen rmat -mapper twohop -verify
+//	mlcg-coarsen -gen rgg -out coarsest.graph -outformat metis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mlcg/internal/cli"
+	"mlcg/internal/coarsen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlcg-coarsen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input graph file")
+	format := fs.String("format", "edgelist", "input format: "+cli.Formats())
+	genName := fs.String("gen", "", "generate input instead: "+cli.Generators())
+	mapper := fs.String("mapper", "hec", "mapping algorithm: "+strings.Join(coarsen.MapperNames(), ", "))
+	builder := fs.String("builder", "sort", "construction strategy: "+strings.Join(coarsen.BuilderNames(), ", "))
+	cutoff := fs.Int("cutoff", 50, "coarsening cutoff")
+	seed := fs.Uint64("seed", 20210517, "random seed")
+	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "write the coarsest graph to this file")
+	outFormat := fs.String("outformat", "edgelist", "output format: "+cli.Formats())
+	saveHier := fs.String("savehier", "", "write the whole hierarchy (graphs + mappings) to this file")
+	quality := fs.Bool("quality", false, "print a per-level mapping quality report")
+	verify := fs.Bool("verify", false, "validate every coarse graph and (for strict schemes) aggregate connectivity")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mlcg-coarsen:", err)
+		return 1
+	}
+
+	g, err := cli.LoadOrGenerate(*in, *format, *genName, *seed)
+	if err != nil {
+		return fail(err)
+	}
+	m, err := coarsen.MapperByName(*mapper)
+	if err != nil {
+		return fail(err)
+	}
+	b, err := coarsen.BuilderByName(*builder)
+	if err != nil {
+		return fail(err)
+	}
+	c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
+	h, err := c.Run(g)
+	if err != nil {
+		return fail(err)
+	}
+
+	s := g.ComputeStats()
+	fmt.Fprintf(stdout, "input: n=%d m=%d skew=%.1f\n", s.N, s.M, s.Skew)
+	fmt.Fprintf(stdout, "%-6s %10s %10s %12s %12s\n", "level", "n", "m", "map(ms)", "build(ms)")
+	for i, st := range h.Stats {
+		fmt.Fprintf(stdout, "%-6d %10d %10d %12.3f %12.3f\n",
+			i+1, st.NC, h.Graphs[i+1].M(),
+			float64(st.MapTime.Microseconds())/1000,
+			float64(st.BuildTime.Microseconds())/1000)
+	}
+	fmt.Fprintf(stdout, "levels=%d cr=%.2f total=%.3fs (map %.3fs, build %.3fs)\n",
+		h.Levels(), h.CoarseningRatio(), h.TotalTime().Seconds(),
+		h.MapTime().Seconds(), h.BuildTime().Seconds())
+
+	if *quality {
+		fmt.Fprintln(stdout, "per-level mapping quality:")
+		for i, mm := range h.Maps {
+			q, err := coarsen.Quality(h.Graphs[i], &coarsen.Mapping{M: mm, NC: h.Graphs[i+1].NumV})
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "  level %d: %s\n", i+1, q)
+		}
+	}
+	if *verify {
+		strict := *mapper != "twohop" // two-hop aggregates may be disconnected by design
+		for i, cg := range h.Graphs[1:] {
+			if err := cg.Validate(); err != nil {
+				return fail(fmt.Errorf("level %d: %w", i+1, err))
+			}
+			if strict {
+				mm := &coarsen.Mapping{M: h.Maps[i], NC: cg.NumV}
+				if err := coarsen.VerifyStrictAggregation(h.Graphs[i], mm); err != nil {
+					return fail(fmt.Errorf("level %d: %w", i+1, err))
+				}
+			}
+		}
+		fmt.Fprintln(stdout, "verification passed")
+	}
+
+	if *out != "" {
+		if err := cli.WriteGraph(h.Coarsest(), *out, *outFormat); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "coarsest graph written to %s\n", *out)
+	}
+	if *saveHier != "" {
+		f, err := os.Create(*saveHier)
+		if err != nil {
+			return fail(err)
+		}
+		if err := h.Write(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "hierarchy written to %s\n", *saveHier)
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunGeneratedInput(t *testing.T) {
+	out, _, code := runCLI(t, "-gen", "grid2d", "-quality", "-verify", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"input: n=90000", "levels=", "verification passed", "mapping quality"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	coarse := filepath.Join(dir, "coarse.graph")
+	// Generate, coarsen, export as metis.
+	_, _, code := runCLI(t, "-gen", "trimesh", "-out", coarse, "-outformat", "metis")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if _, err := os.Stat(coarse); err != nil {
+		t.Fatal(err)
+	}
+	// Re-load the exported coarse graph.
+	out, _, code := runCLI(t, "-in", coarse, "-format", "metis", "-cutoff", "10")
+	if code != 0 {
+		t.Fatalf("re-load exit %d", code)
+	}
+	if !strings.Contains(out, "input: n=") {
+		t.Errorf("unexpected output %q", out)
+	}
+}
+
+func TestRunSaveHierarchy(t *testing.T) {
+	dir := t.TempDir()
+	hier := filepath.Join(dir, "h.bin")
+	_, errs, code := runCLI(t, "-gen", "trimesh", "-savehier", hier)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	fi, err := os.Stat(hier)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("hierarchy file missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no input
+		{"-gen", "nope"},                     // unknown generator
+		{"-gen", "grid2d", "-mapper", "xx"},  // unknown mapper
+		{"-gen", "grid2d", "-builder", "xx"}, // unknown builder
+		{"-in", "/nonexistent/file"},         // missing file
+		{"-badflag"},                         // flag error
+	}
+	for _, args := range cases {
+		if _, _, code := runCLI(t, args...); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}
+
+func TestRunAllMappersSmoke(t *testing.T) {
+	for _, mapper := range []string{"hecseq", "hem", "twohop", "mis2", "suitor"} {
+		_, errs, code := runCLI(t, "-gen", "trimesh", "-mapper", mapper, "-verify")
+		if code != 0 && mapper != "twohop" {
+			t.Errorf("%s: exit %d (%s)", mapper, code, errs)
+		}
+	}
+}

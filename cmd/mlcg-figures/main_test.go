@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunFig1WithDots(t *testing.T) {
+	dir := t.TempDir()
+	out, errs, code := runCLI(t, "-fig", "1", "-dot", dir, "-runs", "1", "-only", "ppa")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	if !strings.Contains(out, "hec") || !strings.Contains(out, "DOT files written") {
+		t.Errorf("output:\n%s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.dot"))
+	if err != nil || len(files) < 10 {
+		t.Errorf("dot files: %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil || !strings.Contains(string(data), "graph") {
+		t.Errorf("dot content invalid: %v", err)
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	out, errs, code := runCLI(t, "-fig", "2", "-runs", "1", "-only", "ppa")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	if !strings.Contains(out, "create") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	out, errs, code := runCLI(t, "-scaling", "-runs", "1", "-only", "channel050")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	if !strings.Contains(out, "Strong scaling") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, _, code := runCLI(t); code == 0 {
+		t.Error("no args accepted")
+	}
+	if _, _, code := runCLI(t, "-fig", "7"); code == 0 {
+		t.Error("figure 7 accepted")
+	}
+	if _, _, code := runCLI(t, "-wat"); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

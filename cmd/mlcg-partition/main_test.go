@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunFMBisection(t *testing.T) {
+	out, errs, code := runCLI(t, "-gen", "trimesh", "-method", "fm", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	for _, want := range []string{"edge cut:", "side weights:", "levels="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "imbalance 0") {
+		t.Errorf("mesh bisection should balance perfectly:\n%s", out)
+	}
+}
+
+func TestRunSpectral(t *testing.T) {
+	out, errs, code := runCLI(t, "-gen", "grid2d", "-method", "spectral")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "method=spectral") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRunKWayWithPairwise(t *testing.T) {
+	out, errs, code := runCLI(t, "-gen", "grid2d", "-k", "4", "-pairwise", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "k=4 edge cut:") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRunParallelRefine(t *testing.T) {
+	out, errs, code := runCLI(t, "-gen", "trimesh", "-parrefine")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "edge cut:") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestRunWritesParts(t *testing.T) {
+	dir := t.TempDir()
+	parts := filepath.Join(dir, "parts.txt")
+	_, errs, code := runCLI(t, "-gen", "grid2d", "-out", parts)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	data, err := os.ReadFile(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(string(data))
+	if len(lines) != 90000 {
+		t.Errorf("part vector has %d entries, want 90000", len(lines))
+	}
+}
+
+func TestRunOrderings(t *testing.T) {
+	for _, order := range []string{"nd", "rcm"} {
+		out, errs, code := runCLI(t, "-gen", "trimesh", "-order", order)
+		if code != 0 {
+			t.Fatalf("%s: exit %d (%s)", order, code, errs)
+		}
+		if !strings.Contains(out, order+" ordering: envelope") {
+			t.Errorf("%s output %q", order, out)
+		}
+	}
+	if _, _, code := runCLI(t, "-gen", "trimesh", "-order", "nope"); code == 0 {
+		t.Error("unknown ordering accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no input
+		{"-gen", "grid2d", "-method", "xx"}, // unknown method
+		{"-gen", "grid2d", "-k", "3", "-method", "xx"}, // unknown k-way method
+		{"-gen", "grid2d", "-mapper", "xx"},            // unknown mapper
+		{"-gen", "grid2d", "-builder", "xx"},           // unknown builder
+		{"-in", "/nonexistent"},                        // missing file
+		{"-zzz"},                                       // bad flag
+	}
+	for _, args := range cases {
+		if _, _, code := runCLI(t, args...); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}

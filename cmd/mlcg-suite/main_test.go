@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+func TestRunExportsSuite(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", dir, "-format", "metis"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errb.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 20 {
+		t.Fatalf("%d files, want 20", len(files))
+	}
+	// Spot-check one export loads and validates.
+	f, err := os.Open(filepath.Join(dir, "kron21.graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadMetis(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kron21") {
+		t.Error("summary row missing")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "nope"}, &out, &errb); code == 0 {
+		t.Error("bad format accepted")
+	}
+	if code := run([]string{"-zzz"}, &out, &errb); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

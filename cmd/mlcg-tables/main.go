@@ -1,0 +1,167 @@
+// mlcg-tables regenerates the paper's evaluation tables (I-VI) and the
+// Section IV.A HEC-variant comparison on the synthetic workload suite.
+//
+// Usage:
+//
+//	mlcg-tables -table 4                 # one table
+//	mlcg-tables -all -runs 5 -scale 2    # everything, larger inputs
+//	mlcg-tables -table 2 -only kron21,ppa
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"mlcg/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, w, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlcg-tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table number to regenerate (1-6)")
+	all := fs.Bool("all", false, "regenerate every table")
+	variants := fs.Bool("hecvariants", false, "run the HEC/HEC2/HEC3 comparison (Section IV.A)")
+	ablation := fs.Bool("dedup-ablation", false, "run the one-sided dedup ablation")
+	shootout := fs.Bool("builders", false, "run the all-builders construction shootout")
+	goshhec := fs.Bool("goshhec", false, "run the GOSH vs GOSH/HEC hybrid study")
+	premise := fs.Bool("premise", false, "run the multilevel-vs-flat FM premise study")
+	skew := fs.Bool("skew", false, "run the degree-skew sweep (configuration model)")
+	runs := fs.Int("runs", 3, "repetitions per measurement (median reported; paper uses 10)")
+	workers := fs.Int("workers", 0, "device parallelism (0 = GOMAXPROCS)")
+	scale := fs.Int("scale", 1, "workload scale multiplier")
+	seed := fs.Uint64("seed", 0, "random seed (0 = default)")
+	only := fs.String("only", "", "comma-separated instance names to restrict the suite")
+	asJSON := fs.Bool("json", false, "emit rows as JSON instead of formatted tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opt := bench.Options{Runs: *runs, Workers: *workers, Scale: *scale, Seed: *seed}
+	if *only != "" {
+		opt.Only = strings.Split(*only, ",")
+	}
+	dev := fmt.Sprintf("%d-worker", *workers)
+	if *workers <= 0 {
+		dev = fmt.Sprintf("%d-worker (GOMAXPROCS)", runtime.GOMAXPROCS(0))
+	}
+
+	emitJSON := func(name string, rows interface{}) {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]interface{}{"table": name, "rows": rows}); err != nil {
+			fmt.Fprintln(stderr, "mlcg-tables:", err)
+		}
+	}
+	did := false
+	runTable := func(n int) {
+		did = true
+		switch n {
+		case 1:
+			rows := bench.Table1(opt)
+			if *asJSON {
+				emitJSON("table1", rows)
+				return
+			}
+			bench.FormatTable1(w, rows)
+		case 2:
+			rows := bench.Table23(opt, opt.Workers)
+			if *asJSON {
+				emitJSON("table2", rows)
+				return
+			}
+			bench.FormatTable23(w, rows, "device ("+dev+") / Table II analog")
+		case 3:
+			// Table III is the host role: half the device parallelism per
+			// the documented substitution.
+			hw := runtime.GOMAXPROCS(0) / 2
+			if hw < 1 {
+				hw = 1
+			}
+			rows := bench.Table23(opt, hw)
+			if *asJSON {
+				emitJSON("table3", rows)
+				return
+			}
+			bench.FormatTable23(w, rows, fmt.Sprintf("host (%d-worker) / Table III analog", hw))
+		case 4:
+			rows := bench.Table4(opt)
+			if *asJSON {
+				emitJSON("table4", rows)
+				return
+			}
+			bench.FormatTable4(w, rows)
+		case 5:
+			rows := bench.Table5(opt)
+			if *asJSON {
+				emitJSON("table5", rows)
+				return
+			}
+			bench.FormatTable5(w, rows)
+		case 6:
+			rows := bench.Table6(opt)
+			if *asJSON {
+				emitJSON("table6", rows)
+				return
+			}
+			bench.FormatTable6(w, rows)
+		default:
+			fmt.Fprintf(stderr, "mlcg-tables: no table %d (valid: 1-6)\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *all {
+		for n := 1; n <= 6; n++ {
+			runTable(n)
+		}
+		bench.FormatHECVariants(w, bench.HECVariants(opt))
+		fmt.Fprintln(w)
+		bench.FormatDedupAblation(w, bench.DedupAblation(opt))
+		return 0
+	}
+	if *table != 0 {
+		if *table < 1 || *table > 6 {
+			fmt.Fprintf(stderr, "mlcg-tables: no table %d (valid: 1-6)\n", *table)
+			return 2
+		}
+		runTable(*table)
+	}
+	if *variants {
+		did = true
+		bench.FormatHECVariants(w, bench.HECVariants(opt))
+	}
+	if *ablation {
+		did = true
+		bench.FormatDedupAblation(w, bench.DedupAblation(opt))
+	}
+	if *shootout {
+		did = true
+		bench.FormatShootout(w, bench.BuilderShootout(opt))
+	}
+	if *goshhec {
+		did = true
+		bench.FormatGOSHHEC(w, bench.GOSHHECStudy(opt))
+	}
+	if *premise {
+		did = true
+		bench.FormatPremise(w, bench.MultilevelPremise(opt))
+	}
+	if *skew {
+		did = true
+		bench.FormatSkewSweep(w, bench.SkewSweep(opt, nil))
+	}
+	if !did {
+		fs.Usage()
+		return 2
+	}
+	return 0
+}

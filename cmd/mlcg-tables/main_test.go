@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// fast restricts every invocation to one tiny run on two graphs.
+func fast(args ...string) []string {
+	return append([]string{"-runs", "1", "-only", "channel050,ppa"}, args...)
+}
+
+func TestRunSingleTables(t *testing.T) {
+	for _, table := range []string{"1", "2", "3", "4"} {
+		out, errs, code := runCLI(t, fast("-table", table)...)
+		if code != 0 {
+			t.Fatalf("table %s: exit %d (%s)", table, code, errs)
+		}
+		if !strings.Contains(out, "channel050") || !strings.Contains(out, "ppa") {
+			t.Errorf("table %s: rows missing:\n%s", table, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, errs, code := runCLI(t, fast("-table", "1", "-json")...)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	var payload struct {
+		Table string
+		Rows  []map[string]interface{}
+	}
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if payload.Table != "table1" || len(payload.Rows) != 2 {
+		t.Errorf("payload %+v", payload)
+	}
+}
+
+func TestRunStudies(t *testing.T) {
+	for _, study := range []string{"-hecvariants", "-dedup-ablation", "-goshhec"} {
+		out, errs, code := runCLI(t, fast(study)...)
+		if code != 0 {
+			t.Fatalf("%s: exit %d (%s)", study, code, errs)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", study)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, _, code := runCLI(t); code == 0 {
+		t.Error("no arguments accepted")
+	}
+	if _, _, code := runCLI(t, "-table", "9"); code == 0 {
+		t.Error("table 9 accepted")
+	}
+	if _, _, code := runCLI(t, "-nope"); code == 0 {
+		t.Error("bad flag accepted")
+	}
+}

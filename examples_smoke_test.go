@@ -1,0 +1,63 @@
+package mlcg_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end via `go run`.
+// Gated behind -short because each run compiles a binary.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution is slow for -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]string{
+		"quickstart":  "FM bisection",
+		"partition":   "metis-like",
+		"clustering":  "purity",
+		"edgeclasses": "create",
+		"drawing":     "4-way cut",
+		"embedding":   "AUC",
+		"hierarchy":   "best of 3 seeds",
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		found++
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir() // examples write artifacts (svg, dot) to cwd
+			wd, err := os.Getwd()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin := filepath.Join(dir, name+".bin")
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = wd // module context for the build
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			cmd.Dir = dir // artifact writes land in the temp dir
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			if want := wants[name]; want != "" && !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+	if found < 7 {
+		t.Errorf("only %d example directories found", found)
+	}
+}

@@ -1,0 +1,3 @@
+module mlcg
+
+go 1.22

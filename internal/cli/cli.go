@@ -1,0 +1,80 @@
+// Package cli holds helpers shared by the command-line tools: input
+// loading in all supported formats, and the named synthetic generators.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"mlcg/internal/gen"
+	"mlcg/internal/graph"
+)
+
+// Formats lists the supported -format values.
+func Formats() string { return "edgelist, metis, binary" }
+
+// Generators lists the supported -gen values.
+func Generators() string { return "grid2d, grid3d, trimesh, rgg, rmat, ba, road, chain, web" }
+
+// LoadOrGenerate reads a graph from path in the given format, or generates
+// one with the named generator when path is empty.
+func LoadOrGenerate(path, format, genName string, seed uint64) (*graph.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch strings.ToLower(format) {
+		case "", "edgelist":
+			return graph.ReadEdgeList(f)
+		case "metis":
+			return graph.ReadMetis(f)
+		case "binary":
+			return graph.ReadBinary(f)
+		}
+		return nil, fmt.Errorf("unknown format %q (want %s)", format, Formats())
+	}
+	switch genName {
+	case "grid2d":
+		return gen.Grid2D(300, 300), nil
+	case "grid3d":
+		return gen.Grid3D(40, 40, 40), nil
+	case "trimesh":
+		return gen.TriMesh(250, 250, seed), nil
+	case "rgg":
+		return gen.RGG(60000, 0, seed), nil
+	case "rmat":
+		return gen.RMAT(15, 10, seed), nil
+	case "ba":
+		return gen.BA(30000, 8, seed), nil
+	case "road":
+		return gen.RoadLike(250, 250, seed), nil
+	case "chain":
+		return gen.ChainLike(80000, seed), nil
+	case "web":
+		return gen.WebLike(40000, seed), nil
+	case "":
+		return nil, fmt.Errorf("need -in FILE or -gen NAME (one of %s)", Generators())
+	}
+	return nil, fmt.Errorf("unknown generator %q (want %s)", genName, Generators())
+}
+
+// WriteGraph writes g to path in the given format.
+func WriteGraph(g *graph.Graph, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(format) {
+	case "", "edgelist":
+		return g.WriteEdgeList(f)
+	case "metis":
+		return g.WriteMetis(f)
+	case "binary":
+		return g.WriteBinary(f)
+	}
+	return fmt.Errorf("unknown format %q (want %s)", format, Formats())
+}

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+func TestLoadOrGenerateGenerators(t *testing.T) {
+	for _, name := range []string{"grid2d", "trimesh"} {
+		g, err := LoadOrGenerate("", "", name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+	if _, err := LoadOrGenerate("", "", "", 1); err == nil {
+		t.Error("missing input accepted")
+	}
+	if _, err := LoadOrGenerate("", "", "nope", 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestWriteAndLoadRoundTrip(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}})
+	dir := t.TempDir()
+	for _, format := range []string{"edgelist", "metis", "binary"} {
+		path := filepath.Join(dir, "g."+format)
+		if err := WriteGraph(g, path, format); err != nil {
+			t.Fatalf("%s write: %v", format, err)
+		}
+		h, err := LoadOrGenerate(path, format, "", 1)
+		if err != nil {
+			t.Fatalf("%s read: %v", format, err)
+		}
+		if !graph.Equal(g, h) {
+			t.Errorf("%s: round trip changed the graph", format)
+		}
+	}
+	if err := WriteGraph(g, filepath.Join(dir, "g.x"), "nope"); err == nil {
+		t.Error("unknown output format accepted")
+	}
+	if _, err := LoadOrGenerate(filepath.Join(dir, "g.edgelist"), "nope", "", 1); err == nil {
+		t.Error("unknown input format accepted")
+	}
+	if _, err := LoadOrGenerate(filepath.Join(dir, "missing"), "edgelist", "", 1); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}

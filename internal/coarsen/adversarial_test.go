@@ -1,0 +1,186 @@
+package coarsen
+
+import (
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+// Adversarial structures that historically break coarsening codes: deep
+// stars-of-stars (recursion/pointer-jumping depth), barbells (balance
+// pressure), complete bipartite graphs (dedup blowup), long heavy chains
+// (HEC pass counts), and near-overflow edge weights (accumulator safety).
+
+func starOfStars(fanout, depth int) *graph.Graph {
+	var e []graph.Edge
+	next := int32(1)
+	var build func(root int32, d int)
+	build = func(root int32, d int) {
+		if d == 0 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			child := next
+			next++
+			e = append(e, graph.Edge{U: root, V: child, W: int64(d)})
+			build(child, d-1)
+		}
+	}
+	build(0, depth)
+	return graph.MustFromEdges(int(next), e)
+}
+
+func barbell(k int) *graph.Graph {
+	var e []graph.Edge
+	for side := 0; side < 2; side++ {
+		base := int32(side * k)
+		for i := int32(0); i < int32(k); i++ {
+			for j := i + 1; j < int32(k); j++ {
+				e = append(e, graph.Edge{U: base + i, V: base + j, W: 2})
+			}
+		}
+	}
+	e = append(e, graph.Edge{U: 0, V: int32(k), W: 1})
+	return graph.MustFromEdges(2*k, e)
+}
+
+func completeBipartite(a, b int) *graph.Graph {
+	var e []graph.Edge
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			e = append(e, graph.Edge{U: int32(i), V: int32(a + j), W: int64(i+j)%7 + 1})
+		}
+	}
+	return graph.MustFromEdges(a+b, e)
+}
+
+// increasingChain makes HEC's heavy pointers form one long chain — the
+// worst case for Algorithm 4's pass count.
+func increasingChain(n int) *graph.Graph {
+	var e []graph.Edge
+	for i := 0; i < n-1; i++ {
+		e = append(e, graph.Edge{U: int32(i), V: int32(i + 1), W: int64(i + 1)})
+	}
+	return graph.MustFromEdges(n, e)
+}
+
+func TestAdversarialStructuresAllMappers(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"starOfStars": starOfStars(4, 5),
+		"barbell":     barbell(20),
+		"bipartite":   completeBipartite(12, 40),
+		"chain":       increasingChain(500),
+	}
+	for gname, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		for _, mapper := range allMappers(t) {
+			m, err := mapper.Map(g, 3, 4)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, mapper.Name(), err)
+			}
+			if err := m.Validate(g.N()); err != nil {
+				t.Fatalf("%s/%s: %v", gname, mapper.Name(), err)
+			}
+			cg, err := BuildSort{}.Build(g, m, 4)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, mapper.Name(), err)
+			}
+			if err := cg.Validate(); err != nil {
+				t.Fatalf("%s/%s: coarse graph: %v", gname, mapper.Name(), err)
+			}
+		}
+	}
+}
+
+func TestIncreasingChainHECPasses(t *testing.T) {
+	// The chain is HEC's worst case: each pass resolves only the tail.
+	// The implementation must fall back to the sequential cleanup rather
+	// than looping forever, and still map everything.
+	g := increasingChain(2000)
+	m, err := HEC{MaxPasses: 4}.Map(g, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Passes > 5 { // 4 parallel + 1 cleanup accounting
+		t.Errorf("passes = %d", m.Passes)
+	}
+}
+
+func TestHugeWeightsNoOverflow(t *testing.T) {
+	// Weights near 2^50; merging hundreds of them stays far below int64
+	// overflow but would wreck any int32 accumulator. The total must be
+	// conserved exactly through coarsening and partitioning.
+	const w = int64(1) << 50
+	var e []graph.Edge
+	n := 200
+	for i := 0; i < n-1; i++ {
+		e = append(e, graph.Edge{U: int32(i), V: int32(i + 1), W: w + int64(i)})
+	}
+	for i := 0; i < n; i += 3 {
+		j := (i + 57) % n
+		if i != j {
+			e = append(e, graph.Edge{U: int32(i), V: int32(j), W: w - int64(i)})
+		}
+	}
+	g := graph.MustFromEdges(n, e)
+	total := g.TotalEdgeWeight()
+	for _, bname := range BuilderNames() {
+		b, _ := BuilderByName(bname)
+		m, err := HEC{}.Map(g, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg, err := b.Build(g, m, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", bname, err)
+		}
+		var intra int64
+		for u := int32(0); u < g.NumV; u++ {
+			adj, wgt := g.Neighbors(u)
+			for k, v := range adj {
+				if u < v && m.M[u] == m.M[v] {
+					intra += wgt[k]
+				}
+			}
+		}
+		if got := cg.TotalEdgeWeight() + intra; got != total {
+			t.Errorf("%s: weight %d, want %d", bname, got, total)
+		}
+	}
+}
+
+func TestBarbellBisection(t *testing.T) {
+	// The optimal barbell bisection cuts the single bridge.
+	g := barbell(24)
+	m, err := HEC{}.Map(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HEC must not contract the bridge while heavier intra-clique edges
+	// exist (heavy-edge preference).
+	if m.M[0] == m.M[24] && m.NC > 2 {
+		t.Errorf("bridge contracted before cliques collapsed")
+	}
+}
+
+func TestMultilevelOnStarOfStars(t *testing.T) {
+	g := starOfStars(3, 7) // deep hierarchy, n = (3^8-1)/2
+	c := &Coarsener{Mapper: HEC{}, Builder: BuildSort{}, Seed: 2, Workers: 2}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cg := range h.Graphs[1:] {
+		if err := cg.Validate(); err != nil {
+			t.Fatalf("level %d: %v", i+1, err)
+		}
+	}
+	if h.Coarsest().TotalVertexWeight() != int64(g.N()) {
+		t.Error("vertex weight lost")
+	}
+}

@@ -1,0 +1,173 @@
+package coarsen
+
+import (
+	"container/heap"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// BuildHeap is the heap-based deduplication variant the paper's authors
+// implemented on the CPU (Section V: "a graph construction strategy using
+// heaps for deduplication"): each coarse vertex's bin is turned into a
+// binary min-heap on neighbor id and drained in order, merging equal keys.
+// Asymptotically it matches the sort-based dedup (O(d log d) per bin) but
+// with a different constant profile — it is included for the comparison,
+// not as a recommended default.
+type BuildHeap struct {
+	SkewThreshold float64
+	ForceOneSided bool
+}
+
+// Name implements Builder.
+func (BuildHeap) Name() string { return "heap" }
+
+// Build implements Builder.
+func (b BuildHeap) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
+	return buildVertexCentric(g, m, p, mode, dedupHeapSegments)
+}
+
+// pairHeap is a binary min-heap over (key, weight) pairs ordered by key.
+type pairHeap struct {
+	keys []int32
+	wgts []int64
+}
+
+func (h *pairHeap) Len() int           { return len(h.keys) }
+func (h *pairHeap) Less(i, j int) bool { return h.keys[i] < h.keys[j] }
+func (h *pairHeap) Swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.wgts[i], h.wgts[j] = h.wgts[j], h.wgts[i]
+}
+func (h *pairHeap) Push(x interface{}) { panic("pairHeap: push unused; heapify in place") }
+func (h *pairHeap) Pop() interface{} {
+	n := len(h.keys) - 1
+	h.keys = h.keys[:n]
+	h.wgts = h.wgts[:n]
+	return nil
+}
+
+// dedupHeapSegments deduplicates every segment by heapifying it in place
+// and draining in key order into a scratch buffer, merging duplicates.
+func dedupHeapSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+	nc := len(cnt)
+	newCnt := make([]int32, nc)
+	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
+		var outK []int32
+		var outW []int64
+		for a := aLo; a < aHi; a++ {
+			lo := r[a]
+			n := int(cnt[a])
+			if n == 0 {
+				continue
+			}
+			ph := &pairHeap{keys: f[lo : lo+int64(n)], wgts: x[lo : lo+int64(n)]}
+			heap.Init(ph)
+			outK = outK[:0]
+			outW = outW[:0]
+			for ph.Len() > 0 {
+				k, w := ph.keys[0], ph.wgts[0]
+				if l := len(outK); l > 0 && outK[l-1] == k {
+					outW[l-1] += w
+				} else {
+					outK = append(outK, k)
+					outW = append(outW, w)
+				}
+				// Pop the root: move the last element to the root and
+				// sift down by shrinking the heap.
+				last := ph.Len() - 1
+				ph.Swap(0, last)
+				ph.keys = ph.keys[:last]
+				ph.wgts = ph.wgts[:last]
+				if last > 0 {
+					heap.Fix(ph, 0)
+				}
+			}
+			copy(f[lo:], outK)
+			copy(x[lo:], outW)
+			newCnt[a] = int32(len(outK))
+		}
+	})
+	return newCnt
+}
+
+// BuildHybrid realizes the paper's future-work idea of "deciding whether
+// to sort or hash on a per-vertex basis": short bins use the insertion/
+// radix sort path (duplication is usually low there), long bins — the hub
+// bins of skewed graphs where duplication concentrates — use the hash
+// accumulator.
+type BuildHybrid struct {
+	SkewThreshold float64
+	ForceOneSided bool
+	// SortBelow is the bin length under which the sort path is used.
+	// Zero means 128.
+	SortBelow int
+}
+
+// Name implements Builder.
+func (BuildHybrid) Name() string { return "hybrid" }
+
+// Build implements Builder.
+func (b BuildHybrid) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
+	cutover := b.SortBelow
+	if cutover <= 0 {
+		cutover = 128
+	}
+	dedup := func(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+		return dedupHybridSegments(f, x, r, cnt, p, cutover)
+	}
+	return buildVertexCentric(g, m, p, mode, dedup)
+}
+
+// dedupHybridSegments picks sort or hash per segment by length.
+func dedupHybridSegments(f []int32, x []int64, r []int64, cnt []int32, p, cutover int) []int32 {
+	nc := len(cnt)
+	newCnt := make([]int32, nc)
+	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
+		var ht *weightTable
+		for a := aLo; a < aHi; a++ {
+			lo := r[a]
+			n := int(cnt[a])
+			if n == 0 {
+				continue
+			}
+			seg := f[lo : lo+int64(n)]
+			wseg := x[lo : lo+int64(n)]
+			if n < cutover {
+				par.SortPairsInt32(seg, wseg)
+				var w int32
+				for i := 0; i < n; i++ {
+					if w > 0 && seg[w-1] == seg[i] {
+						wseg[w-1] += wseg[i]
+					} else {
+						seg[w] = seg[i]
+						wseg[w] = wseg[i]
+						w++
+					}
+				}
+				newCnt[a] = w
+				continue
+			}
+			if ht == nil {
+				ht = newWeightTable(n)
+			} else {
+				ht.reset(n)
+			}
+			for i := 0; i < n; i++ {
+				ht.add(seg[i], wseg[i])
+			}
+			var w int64
+			for s := 0; s < ht.cap; s++ {
+				if ht.keys[s] != unset {
+					seg[w] = ht.keys[s]
+					wseg[w] = ht.vals[s]
+					w++
+				}
+			}
+			newCnt[a] = int32(w)
+		}
+	})
+	return newCnt
+}

@@ -1,0 +1,142 @@
+package coarsen
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// buildVertexCentricPre is the Algorithm 6 skeleton with the fine-side
+// pre-deduplication optimization: each fine vertex's adjacency is first
+// collapsed to distinct coarse targets with merged weights, and those
+// merged entries feed the counting/scatter phases. Because merged entries
+// no longer correspond to a single fine edge, the one-sided tie-break uses
+// coarse ids (a < b) rather than fine ids — each undirected fine edge is
+// still written to exactly one side.
+func buildVertexCentricPre(g *graph.Graph, m *Mapping, p int, mode sideMode, dedup dedupFunc) (*graph.Graph, error) {
+	n := g.N()
+	if err := m.Validate(n); err != nil {
+		return nil, err
+	}
+	nc := int(m.NC)
+	mv := m.M
+
+	vwgt := make([]int64, nc)
+	par.ForEachChunked(n, p, 1024, func(i int) {
+		atomic.AddInt64(&vwgt[mv[i]], g.VertexWeight(int32(i)))
+	})
+
+	oneSided := mode == sideOne
+
+	// localTargets fills the scratch buffers with vertex u's distinct
+	// coarse targets (excluding its own aggregate) and merged weights.
+	localTargets := func(u int32, bufK *[]int32, bufW *[]int64) ([]int32, []int64) {
+		a := mv[u]
+		adj, wgt := g.Neighbors(u)
+		ks := (*bufK)[:0]
+		ws := (*bufW)[:0]
+		for k, v := range adj {
+			if b := mv[v]; b != a {
+				ks = append(ks, b)
+				ws = append(ws, wgt[k])
+			}
+		}
+		par.SortPairsInt32(ks, ws)
+		var w int
+		for i := 0; i < len(ks); i++ {
+			if w > 0 && ks[w-1] == ks[i] {
+				ws[w-1] += ws[i]
+			} else {
+				ks[w] = ks[i]
+				ws[w] = ws[i]
+				w++
+			}
+		}
+		*bufK, *bufW = ks, ws
+		return ks[:w], ws[:w]
+	}
+
+	// Step 1: upper-bound coarse degrees over merged entries.
+	cEst := make([]int32, nc)
+	par.ForChunked(n, p, 256, func(_, lo, hi int) {
+		var bufK []int32
+		var bufW []int64
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			ks, _ := localTargets(u, &bufK, &bufW)
+			atomic.AddInt32(&cEst[mv[u]], int32(len(ks)))
+		}
+	})
+
+	writeHere := func(a, b int32) bool {
+		if !oneSided {
+			return true
+		}
+		if cEst[a] != cEst[b] {
+			return cEst[a] < cEst[b]
+		}
+		return a < b
+	}
+
+	// Step 2: exact bin sizes.
+	var cnt []int32
+	if oneSided {
+		cnt = make([]int32, nc)
+		par.ForChunked(n, p, 256, func(_, lo, hi int) {
+			var bufK []int32
+			var bufW []int64
+			for i := lo; i < hi; i++ {
+				u := int32(i)
+				a := mv[u]
+				ks, _ := localTargets(u, &bufK, &bufW)
+				var c int32
+				for _, b := range ks {
+					if writeHere(a, b) {
+						c++
+					}
+				}
+				if c > 0 {
+					atomic.AddInt32(&cnt[a], c)
+				}
+			}
+		})
+	} else {
+		cnt = cEst
+	}
+
+	// Step 3 + 4: offsets and scatter.
+	r := make([]int64, nc+1)
+	total := par.PrefixSumInt32(r, cnt, p)
+	f := make([]int32, total)
+	x := make([]int64, total)
+	pos := make([]int32, nc)
+	par.ForChunked(n, p, 256, func(_, lo, hi int) {
+		var bufK []int32
+		var bufW []int64
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			a := mv[u]
+			ks, ws := localTargets(u, &bufK, &bufW)
+			for k, b := range ks {
+				if !writeHere(a, b) {
+					continue
+				}
+				l := r[a] + int64(atomic.AddInt32(&pos[a], 1)-1)
+				f[l] = b
+				x[l] = ws[k]
+			}
+		}
+	})
+
+	// Steps 5 + 6: per-coarse-vertex dedup and finalization.
+	newCnt := dedup(f, x, r, cnt, p)
+	var cg *graph.Graph
+	if oneSided {
+		cg = symmetrizeDeduped(f, x, r, newCnt, nc, p, dedup)
+	} else {
+		cg = compactDeduped(f, x, r, newCnt, nc, p)
+	}
+	cg.VWgt = vwgt
+	return cg, nil
+}

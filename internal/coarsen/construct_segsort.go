@@ -1,0 +1,78 @@
+package coarsen
+
+import (
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// BuildSegSort is the segmented-global-sort alternative the paper mentions
+// in Section III.B ("A segmented global sort is also an alternative to
+// separate per-vertex sorts"): instead of sorting each coarse vertex's bin
+// independently, all bins are sorted at once by one parallel radix sort on
+// the composite key (bin id, neighbor id). Long hub bins then benefit from
+// the fully parallel sort instead of serializing inside one worker.
+type BuildSegSort struct {
+	SkewThreshold float64
+	ForceOneSided bool
+}
+
+// Name implements Builder.
+func (BuildSegSort) Name() string { return "segsort" }
+
+// Build implements Builder.
+func (b BuildSegSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
+	return buildVertexCentric(g, m, p, mode, dedupSegmentedSort)
+}
+
+// dedupSegmentedSort deduplicates all segments with a single global sort
+// on (segment, key) composite keys followed by a per-segment merge scan.
+func dedupSegmentedSort(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+	nc := len(cnt)
+	var total int64
+	for _, c := range cnt {
+		total += int64(c)
+	}
+	keys := make([]uint64, total)
+	vals := make([]uint64, total)
+	// Pack (segment id, neighbor id) into one 64-bit key; positions are
+	// compacted so the sorted stream can be unpacked back into segments.
+	pos := int64(0)
+	offsets := make([]int64, nc+1)
+	for a := 0; a < nc; a++ {
+		offsets[a] = pos
+		lo := r[a]
+		for k := int64(0); k < int64(cnt[a]); k++ {
+			keys[pos] = uint64(uint32(a))<<32 | uint64(uint32(f[lo+k]))
+			vals[pos] = uint64(x[lo+k])
+			pos++
+		}
+	}
+	offsets[nc] = pos
+	par.RadixSortPairs(keys, vals, p)
+
+	// Unpack: the sorted stream is grouped by segment (high bits), so each
+	// segment's entries are contiguous; merge duplicates back into f/x.
+	newCnt := make([]int32, nc)
+	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
+		for a := aLo; a < aHi; a++ {
+			lo, hi := offsets[a], offsets[a+1]
+			w := r[a]
+			var written int32
+			for i := lo; i < hi; i++ {
+				k := int32(uint32(keys[i]))
+				v := int64(vals[i])
+				if written > 0 && f[w-1] == k {
+					x[w-1] += v
+				} else {
+					f[w] = k
+					x[w] = v
+					w++
+					written++
+				}
+			}
+			newCnt[a] = written
+		}
+	})
+	return newCnt
+}

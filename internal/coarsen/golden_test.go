@@ -1,0 +1,64 @@
+package coarsen
+
+import (
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+// fig1Demo mirrors bench.Fig1Demo (duplicated here to avoid an import
+// cycle): the 16-vertex weighted demo graph of the Fig 1/2 illustrations.
+func fig1Demo() *graph.Graph {
+	e := []graph.Edge{
+		{U: 0, V: 1, W: 4}, {U: 0, V: 2, W: 1}, {U: 1, V: 2, W: 2},
+		{U: 1, V: 3, W: 3}, {U: 2, V: 3, W: 5}, {U: 3, V: 4, W: 1},
+		{U: 4, V: 5, W: 6}, {U: 4, V: 6, W: 2}, {U: 5, V: 6, W: 3},
+		{U: 5, V: 7, W: 2}, {U: 6, V: 7, W: 4}, {U: 7, V: 8, W: 1},
+		{U: 8, V: 9, W: 5}, {U: 8, V: 10, W: 2}, {U: 9, V: 10, W: 3},
+		{U: 9, V: 11, W: 4}, {U: 10, V: 11, W: 1}, {U: 11, V: 12, W: 2},
+		{U: 12, V: 13, W: 6}, {U: 12, V: 14, W: 1}, {U: 13, V: 14, W: 2},
+		{U: 13, V: 15, W: 3}, {U: 14, V: 15, W: 5}, {U: 15, V: 0, W: 1},
+	}
+	return graph.MustFromEdges(16, e)
+}
+
+// TestGoldenDemoOutcomes pins the single-worker, fixed-seed behaviour of
+// every mapper on the demo graph. These are the qualitative Fig 1 results
+// recorded in EXPERIMENTS.md; a change here means an algorithm's
+// deterministic behaviour drifted and the recorded analysis needs
+// re-checking (update both together, deliberately).
+func TestGoldenDemoOutcomes(t *testing.T) {
+	golden := map[string]int32{
+		"hec":     7,
+		"hecseq":  7,
+		"hec2":    14,
+		"hec3":    7,
+		"hem":     9,
+		"hemseq":  9,
+		"twohop":  8,
+		"mis2":    3,
+		"gosh":    5,
+		"goshhec": 5,
+		"suitor":  8,
+		"bsuitor": 3,
+	}
+	g := fig1Demo()
+	for _, name := range MapperNames() {
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("no golden value for mapper %q — add one", name)
+			continue
+		}
+		mapper, err := MapperByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mapper.Map(g, 20210517, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.NC != want {
+			t.Errorf("%s: nc = %d, golden %d (deterministic behaviour drifted)", name, m.NC, want)
+		}
+	}
+}

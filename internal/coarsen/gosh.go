@@ -1,0 +1,203 @@
+package coarsen
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// GOSH is the coarsening scheme of the GOSH embedding system (Akyildiz,
+// Aljundi, Kaya; tech-report Algorithms 7 and 15): an MIS-flavored
+// aggregation where vertices are visited in decreasing-degree order, an
+// unmapped vertex becomes a cluster center, and its unmapped neighbors
+// join it — except that two high-degree vertices are never contracted
+// together, which keeps hubs from collapsing into one mega-aggregate.
+// Edge weights are ignored by design (the paper calls this out as a
+// drawback that GOSHHEC fixes).
+type GOSH struct {
+	// HubDegreeFactor scales the high-degree threshold δ =
+	// max(4, factor·avgdeg); two vertices with degree > δ are not merged.
+	// Zero means the default factor of 1.
+	HubDegreeFactor float64
+}
+
+// Name implements Mapper.
+func (GOSH) Name() string { return "gosh" }
+
+// goshThreshold computes the hub-degree cutoff δ.
+func goshThreshold(g *graph.Graph, factor float64) int64 {
+	if factor <= 0 {
+		factor = 1
+	}
+	d := int64(factor * g.AvgDegree())
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+// Map implements Mapper.
+func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	delta := goshThreshold(g, gm.HubDegreeFactor)
+
+	// Order vertices by decreasing degree; ties broken pseudo-randomly by
+	// the seed so different runs explore different orders.
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	par.ForEach(n, p, func(i int) {
+		d := uint64(g.Degree(int32(i)))
+		// Sort ascending on (maxdeg-d, noise) == descending on degree.
+		keys[i] = (^d)<<20 | (par.Mix64(seed^uint64(i)) & 0xfffff)
+		vals[i] = uint64(i)
+	})
+	par.RadixSortPairs(keys, vals, p)
+
+	m := make([]int32, n)
+	par.Fill(m, unset, p)
+	par.ForEachChunked(n, p, 512, func(i int) {
+		u := int32(vals[i])
+		if !atomic.CompareAndSwapInt32(&m[u], unset, u) {
+			return // u already joined another cluster
+		}
+		uHigh := g.Degree(u) > delta
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if uHigh && g.Degree(v) > delta {
+				continue // never contract two hubs
+			}
+			atomic.CompareAndSwapInt32(&m[v], unset, u)
+		}
+	})
+	// Claimed-but-center vertices: m[u] == u are roots, everything else
+	// points at its center, which is a root by construction (a center
+	// claimed itself before claiming others).
+	nc := compactRoots(m)
+	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
+}
+
+// GOSHHEC is the paper's new coarsening approach (tech-report
+// Algorithm 16) combining ideas from the HEC and GOSH parallelizations: a
+// weight-aware aggregation with less indirection and less fine-grained
+// synchronization than GOSH, which skips high-degree vertex adjacencies in
+// several loops. This reconstruction keeps GOSH's degree-first aggregation
+// but makes it weight-aware and nearly synchronization-free:
+//
+//  1. Centers are the local maxima of a (degree, random) priority — a
+//     single race-free read-only pass, no CAS claiming as in GOSH.
+//  2. Every other vertex joins its *heaviest* center neighbor (the HEC
+//     idea; GOSH ignores weights), skipping hub→hub merges.
+//  3. Two cleanup rounds let stragglers adopt a neighbor's aggregate via
+//     their heaviest assigned neighbor; leftovers become singletons.
+//
+// Hub adjacency lists are scanned only in the one priority pass (their
+// neighbors read them; they never scan in phases 2-3), realizing the
+// "skips high-degree vertex adjacencies in several loops" property.
+type GOSHHEC struct {
+	HubDegreeFactor float64 // as in GOSH; zero means default
+}
+
+// Name implements Mapper.
+func (GOSHHEC) Name() string { return "goshhec" }
+
+// Map implements Mapper.
+func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	delta := goshThreshold(g, gm.HubDegreeFactor)
+	perm := par.RandPerm(n, seed, p)
+	pos := par.InversePerm(perm, p)
+
+	// Priority: degree first (GOSH's ordering), random tie-break, vertex
+	// id as the final strict tie-break so priorities are unique.
+	higher := func(a, b int32) bool {
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da > db
+		}
+		if pos[a] != pos[b] {
+			return pos[a] < pos[b]
+		}
+		return a < b
+	}
+
+	// Phase 1: centers = local priority maxima (independent set).
+	m := make([]int32, n)
+	par.Fill(m, unset, p)
+	par.ForEachChunked(n, p, 256, func(i int) {
+		u := int32(i)
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if higher(v, u) {
+				return
+			}
+		}
+		m[u] = u
+	})
+
+	// Phase 2: join the heaviest center neighbor; hubs never merge into
+	// hub centers. Race-free: each vertex writes only its own entry.
+	par.ForEachChunked(n, p, 256, func(i int) {
+		u := int32(i)
+		if m[u] != unset {
+			return
+		}
+		uHub := g.Degree(u) > delta
+		adj, wgt := g.Neighbors(u)
+		best := unset
+		var bw int64 = -1
+		for k, v := range adj {
+			if m[v] != int32(v) || v == u {
+				continue // not a center
+			}
+			if uHub && g.Degree(v) > delta {
+				continue // never contract two hubs
+			}
+			w := wgt[k]
+			if w > bw || (w == bw && (best == unset || pos[v] < pos[best])) {
+				best, bw = v, w
+			}
+		}
+		if best != unset {
+			m[u] = best
+		}
+	})
+
+	// Phase 3: stragglers adopt their heaviest assigned neighbor's
+	// aggregate. Two rounds reach everything within distance two of a
+	// center; the rest become singletons. Each round reads the previous
+	// round's snapshot to stay race-free and keep members pointing
+	// directly at roots.
+	for round := 0; round < 2; round++ {
+		snapshot := make([]int32, n)
+		par.Copy(snapshot, m, p)
+		par.ForEachChunked(n, p, 256, func(i int) {
+			u := int32(i)
+			if snapshot[u] != unset {
+				return
+			}
+			adj, wgt := g.Neighbors(u)
+			best := unset
+			var bw int64 = -1
+			for k, v := range adj {
+				if snapshot[v] == unset {
+					continue
+				}
+				w := wgt[k]
+				if w > bw || (w == bw && (best == unset || pos[v] < pos[best])) {
+					best, bw = v, w
+				}
+			}
+			if best != unset {
+				m[u] = snapshot[best]
+			}
+		})
+	}
+	par.ForEach(n, p, func(i int) {
+		if m[i] == unset {
+			m[i] = int32(i)
+		}
+	})
+	nc := compactRoots(m)
+	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
+}

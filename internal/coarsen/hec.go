@@ -1,0 +1,245 @@
+package coarsen
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// HECSeq is the sequential Heavy Edge Coarsening algorithm (Algorithm 3):
+// vertices are visited in random order; an unmapped vertex joins the
+// aggregate of its heaviest neighbor, creating the aggregate if the
+// neighbor is still unmapped. The coarsening ratio can exceed two because
+// many vertices may join the same aggregate.
+type HECSeq struct{}
+
+// Name implements Mapper.
+func (HECSeq) Name() string { return "hecseq" }
+
+// Map implements Mapper.
+func (HECSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	perm := par.RandPerm(n, seed, p)
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = unset
+	}
+	var nc int32
+	for _, u := range perm {
+		if m[u] != unset {
+			continue
+		}
+		adj, wgt := g.Neighbors(u)
+		if len(adj) == 0 {
+			m[u] = nc
+			nc++
+			continue
+		}
+		x := adj[0]
+		bw := wgt[0]
+		for k := 1; k < len(adj); k++ {
+			if wgt[k] > bw {
+				x, bw = adj[k], wgt[k]
+			}
+		}
+		if m[x] == unset {
+			m[x] = nc
+			nc++
+		}
+		m[u] = m[x]
+	}
+	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
+}
+
+// HEC is the lock-free parallelization of heavy edge coarsening
+// (Algorithm 4). Threads concurrently inspect heavy edges <u, H[u]> and
+// claim both endpoints with compare-and-swap on a temporary ownership
+// array C; create edges allocate a fresh coarse id, inherit edges adopt
+// the partner's id, and failed claims release ownership and retry in a
+// later pass over the still-unmapped vertices. A positional identifier
+// check on mutual heavy pairs prevents the claim deadlock discussed in
+// Section III.A.1.
+type HEC struct {
+	// MaxPasses bounds the retry loop; once exceeded, the remaining
+	// vertices are finished sequentially (exact Algorithm 3 semantics on
+	// the residue). Zero means the default of 64. In practice the paper
+	// observes >99% of vertices mapping within two passes.
+	MaxPasses int
+
+	// MaxAggWeight optionally caps the vertex weight an aggregate may
+	// accumulate (0 = unbounded, the paper's setting). Partitioners use a
+	// cap so hub aggregates cannot grow past the balance tolerance —
+	// the same guard Metis applies during matching. A vertex whose heavy
+	// neighbor's aggregate is full becomes a singleton instead.
+	MaxAggWeight int64
+}
+
+// Name implements Mapper.
+func (HEC) Name() string { return "hec" }
+
+// Map implements Mapper.
+func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	maxPasses := h.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
+	perm := par.RandPerm(n, seed, p)
+	pos := par.InversePerm(perm, p)
+	hv := heavyNeighbors(g, pos, p)
+
+	m := make([]int32, n)
+	par.Fill(m, unset, p)
+	c := make([]int32, n) // 0 = unclaimed, v+1 = claimed for partner v
+	var nc int32
+
+	// Aggregate weights, tracked only when a cap is configured.
+	maxAW := h.MaxAggWeight
+	var aw []int64
+	if maxAW > 0 {
+		aw = make([]int64, n)
+	}
+	// tryJoin reserves u's weight in aggregate id, failing when the cap
+	// would be exceeded (singletons always fit: they get a fresh id).
+	tryJoin := func(id int32, w int64) bool {
+		if maxAW <= 0 {
+			return true
+		}
+		for {
+			cur := atomic.LoadInt64(&aw[id])
+			if cur+w > maxAW && cur > 0 {
+				return false
+			}
+			if atomic.CompareAndSwapInt64(&aw[id], cur, cur+w) {
+				return true
+			}
+		}
+	}
+	singleton := func(u int32) {
+		id := atomic.AddInt32(&nc, 1) - 1
+		if maxAW > 0 {
+			atomic.StoreInt64(&aw[id], g.VertexWeight(u))
+		}
+		atomic.StoreInt32(&m[u], id)
+	}
+
+	queue := perm
+	var passMapped []int64
+	pass := 0
+	for len(queue) > 0 && pass < maxPasses {
+		pass++
+		par.ForEachChunked(len(queue), p, 512, func(i int) {
+			u := queue[i]
+			if atomic.LoadInt32(&m[u]) != unset {
+				return
+			}
+			v := hv[u]
+			if v == u { // isolated vertex: singleton aggregate
+				if atomic.LoadInt32(&m[u]) == unset {
+					singleton(u)
+				}
+				return
+			}
+			// Deadlock prevention for mutual heavy pairs: only the
+			// lower-position endpoint drives the create; the other waits
+			// for its partner (it will be mapped by the partner's create,
+			// or inherit once the partner is mapped some other way).
+			if hv[v] == u && pos[u] > pos[v] && atomic.LoadInt32(&m[v]) == unset {
+				return
+			}
+			if atomic.LoadInt32(&c[u]) != 0 {
+				return
+			}
+			if !atomic.CompareAndSwapInt32(&c[u], 0, v+1) {
+				return
+			}
+			if atomic.CompareAndSwapInt32(&c[v], 0, u+1) {
+				// Create edge: both endpoints were free. An over-cap pair
+				// splits into singletons instead (both endpoints are owned
+				// by this thread at this point).
+				if maxAW > 0 && g.VertexWeight(u)+g.VertexWeight(v) > maxAW {
+					singleton(u)
+					singleton(v)
+					return
+				}
+				id := atomic.AddInt32(&nc, 1) - 1
+				if maxAW > 0 {
+					atomic.StoreInt64(&aw[id], g.VertexWeight(u)+g.VertexWeight(v))
+				}
+				atomic.StoreInt32(&m[v], id)
+				atomic.StoreInt32(&m[u], id)
+				return
+			}
+			if mv := atomic.LoadInt32(&m[v]); mv != unset {
+				// Inherit edge: partner already carries a coarse id —
+				// join it unless the aggregate is full.
+				if tryJoin(mv, g.VertexWeight(u)) {
+					atomic.StoreInt32(&m[u], mv)
+				} else {
+					singleton(u)
+				}
+				return
+			}
+			// Partner claimed but not yet mapped: release and retry.
+			atomic.StoreInt32(&c[u], 0)
+		})
+		next := par.Pack(len(queue), p, func(i int) bool {
+			return atomic.LoadInt32(&m[queue[i]]) == unset
+		})
+		remapped := int64(len(queue) - len(next))
+		passMapped = append(passMapped, remapped)
+		// Translate packed indices back to vertex ids.
+		q2 := make([]int32, len(next))
+		par.ForEach(len(next), p, func(i int) {
+			q2[i] = queue[next[i]]
+		})
+		if remapped == 0 {
+			// No progress this pass (possible under adversarial
+			// scheduling): finish the residue sequentially.
+			queue = q2
+			break
+		}
+		queue = q2
+	}
+	if len(queue) > 0 {
+		// Sequential cleanup with exact Algorithm 3 semantics.
+		var cleaned int64
+		for _, u := range queue {
+			if m[u] != unset {
+				continue
+			}
+			v := hv[u]
+			if v == u {
+				singleton(u)
+				cleaned++
+				continue
+			}
+			if m[v] == unset {
+				if maxAW > 0 && g.VertexWeight(u)+g.VertexWeight(v) > maxAW {
+					singleton(u)
+					cleaned++
+					continue // v maps on its own turn
+				}
+				id := nc
+				nc++
+				if maxAW > 0 {
+					aw[id] = g.VertexWeight(u) + g.VertexWeight(v)
+				}
+				m[v] = id
+				m[u] = id
+				cleaned += 2
+				continue
+			}
+			if tryJoin(m[v], g.VertexWeight(u)) {
+				m[u] = m[v]
+			} else {
+				singleton(u)
+			}
+			cleaned++
+		}
+		passMapped = append(passMapped, cleaned)
+		pass++
+	}
+	return &Mapping{M: m, NC: nc, Passes: pass, PassMapped: passMapped}, nil
+}

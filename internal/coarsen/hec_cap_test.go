@@ -1,0 +1,118 @@
+package coarsen
+
+import (
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+// maxAggregateWeight returns the heaviest aggregate of a mapping.
+func maxAggregateWeight(g *graph.Graph, m *Mapping) int64 {
+	w := make([]int64, m.NC)
+	for u := int32(0); u < g.NumV; u++ {
+		w[m.M[u]] += g.VertexWeight(u)
+	}
+	var max int64
+	for _, x := range w {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+func TestHECAggregateWeightCapOnStar(t *testing.T) {
+	// Without a cap, HEC collapses a star into one aggregate; with a cap,
+	// every aggregate stays within it.
+	var e []graph.Edge
+	for i := 1; i <= 200; i++ {
+		e = append(e, graph.Edge{U: 0, V: int32(i), W: 1})
+	}
+	g := graph.MustFromEdges(201, e)
+
+	uncapped, err := HEC{}.Map(g, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAggregateWeight(g, uncapped) < 100 {
+		t.Fatalf("expected the uncapped star to collapse, max agg %d", maxAggregateWeight(g, uncapped))
+	}
+
+	capped, err := HEC{MaxAggWeight: 10}.Map(g, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxAggregateWeight(g, capped); got > 10 {
+		t.Errorf("max aggregate weight %d exceeds cap 10", got)
+	}
+	if capped.NC <= uncapped.NC {
+		t.Errorf("capped run should create more aggregates (%d vs %d)", capped.NC, uncapped.NC)
+	}
+}
+
+func TestHECCapWithVertexWeights(t *testing.T) {
+	// Vertex weights from a previous level must count against the cap.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 3},
+	})
+	g.MaterializeVWgt()
+	g.VWgt = []int64{6, 6, 6, 6}
+	for seed := uint64(0); seed < 6; seed++ {
+		m, err := HEC{MaxAggWeight: 12}.Map(g, seed, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxAggregateWeight(g, m); got > 12 {
+			t.Errorf("seed %d: max agg weight %d > 12", seed, got)
+		}
+	}
+	// A cap below a pair weight forces all singletons.
+	m, err := HEC{MaxAggWeight: 11}.Map(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NC != 4 {
+		t.Errorf("sub-pair cap should force singletons, nc=%d", m.NC)
+	}
+}
+
+func TestHECCapQuickInvariant(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := bigTestGraph(800, seed)
+		const cap = 16
+		m, err := HEC{MaxAggWeight: cap}.Map(g, seed^7, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(g.N()); err != nil {
+			t.Fatal(err)
+		}
+		if got := maxAggregateWeight(g, m); got > cap {
+			t.Fatalf("seed %d: max agg weight %d > %d", seed, got, cap)
+		}
+	}
+}
+
+func TestHECCapThroughMultilevel(t *testing.T) {
+	// The cap must hold level over level as vertex weights accumulate.
+	g := bigTestGraph(2000, 3)
+	const cap = 64
+	c := &Coarsener{Mapper: HEC{MaxAggWeight: cap}, Builder: BuildSort{}, Seed: 1, Workers: 2}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cg := range h.Graphs[1:] {
+		for u := int32(0); u < cg.NumV; u++ {
+			if w := cg.VertexWeight(u); w > cap {
+				t.Fatalf("level %d vertex %d weight %d > cap", i+1, u, w)
+			}
+		}
+	}
+	if h.Coarsest().N() > 50 && h.Levels() < 3 {
+		t.Errorf("capped coarsening stalled: levels=%d coarsest=%d", h.Levels(), h.Coarsest().N())
+	}
+}

@@ -1,0 +1,174 @@
+package coarsen
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// HEMSeq is the sequential Heavy Edge Matching algorithm (Algorithm 2):
+// vertices are visited in random order; an unmatched vertex pairs with its
+// heaviest unmatched neighbor, or becomes a singleton when none exists.
+// Because aggregates have at most two vertices, the coarsening ratio is at
+// most two.
+type HEMSeq struct{}
+
+// Name implements Mapper.
+func (HEMSeq) Name() string { return "hemseq" }
+
+// Map implements Mapper.
+func (HEMSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	perm := par.RandPerm(n, seed, p)
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = unset
+	}
+	var nc int32
+	for _, u := range perm {
+		if m[u] != unset {
+			continue
+		}
+		adj, wgt := g.Neighbors(u)
+		var bw int64
+		x := unset
+		for k, v := range adj {
+			if m[v] == unset && wgt[k] > bw {
+				bw = wgt[k]
+				x = v
+			}
+		}
+		if x != unset {
+			m[x] = nc
+		}
+		m[u] = nc
+		nc++
+	}
+	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
+}
+
+// HEM is the parallel heavy edge matching (tech-report Algorithm 10),
+// modeled on the lock-free machinery of Algorithm 4 with one distinction:
+// the heaviest neighbor is chosen among unmatched vertices, so the heavy
+// array is recomputed for the unassigned vertices after each pass, and
+// there are no inherit edges — a failed claim always retries.
+type HEM struct {
+	MaxPasses int // 0 means the default of 64
+}
+
+// Name implements Mapper.
+func (HEM) Name() string { return "hem" }
+
+// Map implements Mapper.
+func (h HEM) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	match, passes, passMapped := hemMatch(g, seed, p, h.MaxPasses, true)
+	m, nc := matchToMapping(match)
+	return &Mapping{M: m, NC: nc, Passes: passes, PassMapped: passMapped}, nil
+}
+
+// hemMatch runs parallel HEM passes and returns the match array:
+// match[u] == v and match[v] == u for matched pairs, match[u] == u for
+// singletons, and unset for unmatched vertices. When singletons is true,
+// vertices with no unmatched neighbor are finalized as singletons (plain
+// HEM); when false they are left unmatched for the two-hop phases.
+func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (match []int32, passes int, passMapped []int64) {
+	n := g.N()
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
+	perm := par.RandPerm(n, seed, p)
+	pos := par.InversePerm(perm, p)
+
+	match = make([]int32, n)
+	par.Fill(match, unset, p)
+	c := make([]int32, n)
+
+	queue := perm
+	for len(queue) > 0 && passes < maxPasses {
+		passes++
+		hv := heavyUnmatchedNeighbors(g, match, pos, p)
+		// Reset claims for the vertices still in play.
+		par.ForEach(len(queue), p, func(i int) {
+			c[queue[i]] = 0
+		})
+		par.ForEachChunked(len(queue), p, 512, func(i int) {
+			u := queue[i]
+			if atomic.LoadInt32(&match[u]) != unset {
+				return
+			}
+			v := hv[u]
+			if v == u {
+				// No unmatched neighbor. Finalize as singleton (HEM) or
+				// leave for two-hop matching.
+				if singletons && atomic.CompareAndSwapInt32(&c[u], 0, u+1) {
+					atomic.StoreInt32(&match[u], u)
+				}
+				return
+			}
+			if hv[v] == u && pos[u] > pos[v] && atomic.LoadInt32(&match[v]) == unset {
+				return // partner drives mutual pairs
+			}
+			if atomic.LoadInt32(&c[u]) != 0 {
+				return
+			}
+			if !atomic.CompareAndSwapInt32(&c[u], 0, v+1) {
+				return
+			}
+			if atomic.CompareAndSwapInt32(&c[v], 0, u+1) {
+				atomic.StoreInt32(&match[v], u)
+				atomic.StoreInt32(&match[u], v)
+				return
+			}
+			// v was claimed by someone else; matching has no inherit
+			// edges, so release and retry next pass with a fresh H.
+			atomic.StoreInt32(&c[u], 0)
+		})
+		next := par.Pack(len(queue), p, func(i int) bool {
+			return atomic.LoadInt32(&match[queue[i]]) == unset
+		})
+		matched := int64(len(queue) - len(next))
+		passMapped = append(passMapped, matched)
+		q2 := make([]int32, len(next))
+		par.ForEach(len(next), p, func(i int) {
+			q2[i] = queue[next[i]]
+		})
+		queue = q2
+		if matched == 0 {
+			// Remaining vertices form an independent set among the
+			// unmatched (or are livelocked); both cases are terminal for
+			// pure matching.
+			break
+		}
+	}
+	if singletons && len(queue) > 0 {
+		for _, u := range queue {
+			if match[u] == unset {
+				match[u] = u
+			}
+		}
+		passMapped = append(passMapped, int64(len(queue)))
+		passes++
+	}
+	return match, passes, passMapped
+}
+
+// matchToMapping converts a complete match array (no unset entries) into a
+// compact mapping. The root of a pair is the lower vertex id.
+func matchToMapping(match []int32) ([]int32, int32) {
+	n := len(match)
+	m := make([]int32, n)
+	for u := 0; u < n; u++ {
+		v := match[u]
+		if v == unset {
+			panic("coarsen: matchToMapping on incomplete match")
+		}
+		if v < int32(u) {
+			m[u] = v
+		} else {
+			m[u] = int32(u)
+		}
+	}
+	nc := compactRoots(m)
+	return m, nc
+}

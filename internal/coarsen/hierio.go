@@ -1,0 +1,93 @@
+package coarsen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mlcg/internal/graph"
+)
+
+// Hierarchy serialization: a coarsening hierarchy is expensive relative to
+// the downstream solves that reuse it (several partitions with different
+// seeds, repeated spectral solves), so it can be written once and
+// reloaded (Hierarchy.Write / ReadHierarchy). The container holds every level's graph (in the graph binary
+// format) and the mapping arrays; timings are not persisted.
+
+const hierMagic = uint64(0x6d6c63672d686965) // "mlcg-hie"
+
+// Write serializes the hierarchy.
+func (h *Hierarchy) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, hierMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(h.Graphs))); err != nil {
+		return err
+	}
+	for _, g := range h.Graphs {
+		if err := g.WriteBinary(bw); err != nil {
+			return err
+		}
+	}
+	for _, m := range h.Maps {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(m))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHierarchy parses a container written by Write and validates its
+// internal consistency (each map's length matches its fine graph, ids stay
+// within the coarse graph).
+func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, levels uint64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("coarsen: short hierarchy header: %w", err)
+	}
+	if magic != hierMagic {
+		return nil, fmt.Errorf("coarsen: bad hierarchy magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &levels); err != nil {
+		return nil, err
+	}
+	if levels == 0 || levels > 1<<20 {
+		return nil, fmt.Errorf("coarsen: implausible level count %d", levels)
+	}
+	h := &Hierarchy{}
+	for i := uint64(0); i < levels; i++ {
+		g, err := graph.ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("coarsen: level %d graph: %w", i, err)
+		}
+		h.Graphs = append(h.Graphs, g)
+	}
+	for i := 0; i+1 < len(h.Graphs); i++ {
+		var mlen uint64
+		if err := binary.Read(br, binary.LittleEndian, &mlen); err != nil {
+			return nil, fmt.Errorf("coarsen: map %d length: %w", i, err)
+		}
+		if mlen != uint64(h.Graphs[i].N()) {
+			return nil, fmt.Errorf("coarsen: map %d covers %d vertices, graph has %d",
+				i, mlen, h.Graphs[i].N())
+		}
+		m := make([]int32, mlen)
+		if err := binary.Read(br, binary.LittleEndian, m); err != nil {
+			return nil, err
+		}
+		nc := h.Graphs[i+1].NumV
+		for u, a := range m {
+			if a < 0 || a >= nc {
+				return nil, fmt.Errorf("coarsen: map %d vertex %d -> %d out of [0,%d)", i, u, a, nc)
+			}
+		}
+		h.Maps = append(h.Maps, m)
+	}
+	return h, nil
+}

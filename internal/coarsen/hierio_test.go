@@ -1,0 +1,76 @@
+package coarsen
+
+import (
+	"bytes"
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+func TestHierarchyRoundTrip(t *testing.T) {
+	g := bigTestGraph(1500, 5)
+	c := &Coarsener{Mapper: HEC{}, Builder: BuildSort{}, Seed: 3, Workers: 2}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Graphs) != len(h.Graphs) || len(h2.Maps) != len(h.Maps) {
+		t.Fatalf("shape mismatch: %d/%d graphs, %d/%d maps",
+			len(h2.Graphs), len(h.Graphs), len(h2.Maps), len(h.Maps))
+	}
+	for i := range h.Graphs {
+		if !graph.Equal(h.Graphs[i], h2.Graphs[i]) {
+			t.Errorf("level %d graph differs", i)
+		}
+	}
+	for i := range h.Maps {
+		for u := range h.Maps[i] {
+			if h.Maps[i][u] != h2.Maps[i][u] {
+				t.Fatalf("map %d differs at %d", i, u)
+			}
+		}
+	}
+	// The reloaded hierarchy is usable: projection works.
+	labels := make([]int32, h2.Coarsest().N())
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	fine := h2.ProjectToFine(labels)
+	if len(fine) != g.N() {
+		t.Errorf("projection covers %d", len(fine))
+	}
+}
+
+func TestReadHierarchyRejectsCorruption(t *testing.T) {
+	g := bigTestGraph(300, 7)
+	c := &Coarsener{Mapper: HEC{}, Builder: BuildSort{}, Seed: 1, Workers: 1}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := ReadHierarchy(bytes.NewReader(valid[:8])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	if _, err := ReadHierarchy(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadHierarchy(bytes.NewReader(valid[:len(valid)/2])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package coarsen
+
+import (
+	"fmt"
+	"sort"
+
+	"mlcg/internal/graph"
+)
+
+// QualityReport summarizes how a mapping treats the fine graph: the
+// aggregate size distribution and how much edge weight the contraction
+// keeps inside aggregates. High retained weight with controlled aggregate
+// sizes is what makes a coarsening useful downstream (the paper's
+// desirable-features discussion in Section I).
+type QualityReport struct {
+	NC             int32
+	Ratio          float64 // n / nc
+	MinAgg, MaxAgg int
+	MeanAgg        float64
+	MedianAgg      int
+	// IntraWeight is the edge weight contracted inside aggregates;
+	// CrossWeight survives into the coarse graph. Their sum is the fine
+	// graph's total edge weight.
+	IntraWeight, CrossWeight int64
+	// RetainedFrac = IntraWeight / (IntraWeight + CrossWeight).
+	RetainedFrac float64
+	// SingletonFrac is the fraction of aggregates with a single vertex —
+	// the stalling signal for matching-based schemes.
+	SingletonFrac float64
+}
+
+// Quality computes the report for mapping m over fine graph g.
+func Quality(g *graph.Graph, m *Mapping) (*QualityReport, error) {
+	if err := m.Validate(g.N()); err != nil {
+		return nil, err
+	}
+	sizes := make([]int, m.NC)
+	for _, a := range m.M {
+		sizes[a]++
+	}
+	r := &QualityReport{NC: m.NC, Ratio: m.Ratio()}
+	if m.NC > 0 {
+		sorted := append([]int(nil), sizes...)
+		sort.Ints(sorted)
+		r.MinAgg = sorted[0]
+		r.MaxAgg = sorted[len(sorted)-1]
+		r.MedianAgg = sorted[len(sorted)/2]
+		r.MeanAgg = float64(g.N()) / float64(m.NC)
+		singles := 0
+		for _, s := range sizes {
+			if s == 1 {
+				singles++
+			}
+		}
+		r.SingletonFrac = float64(singles) / float64(m.NC)
+	}
+	for u := int32(0); u < g.NumV; u++ {
+		adj, wgt := g.Neighbors(u)
+		for k, v := range adj {
+			if u < v {
+				if m.M[u] == m.M[v] {
+					r.IntraWeight += wgt[k]
+				} else {
+					r.CrossWeight += wgt[k]
+				}
+			}
+		}
+	}
+	if t := r.IntraWeight + r.CrossWeight; t > 0 {
+		r.RetainedFrac = float64(r.IntraWeight) / float64(t)
+	}
+	return r, nil
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *QualityReport) String() string {
+	return fmt.Sprintf("nc=%d ratio=%.2f agg[min/med/max]=%d/%d/%d singletons=%.1f%% retained=%.1f%%",
+		r.NC, r.Ratio, r.MinAgg, r.MedianAgg, r.MaxAgg,
+		100*r.SingletonFrac, 100*r.RetainedFrac)
+}
+
+// VerifyStrictAggregation checks the invariant of strict aggregation
+// schemes: every aggregate induces a connected subgraph. Two-hop matching
+// intentionally violates it; everything else in the registry satisfies it.
+func VerifyStrictAggregation(g *graph.Graph, m *Mapping) error {
+	if err := m.Validate(g.N()); err != nil {
+		return err
+	}
+	n := g.N()
+	members := make([][]int32, m.NC)
+	for u := 0; u < n; u++ {
+		members[m.M[u]] = append(members[m.M[u]], int32(u))
+	}
+	visited := make([]bool, n)
+	var stack []int32
+	for a, mem := range members {
+		if len(mem) <= 1 {
+			continue
+		}
+		stack = append(stack[:0], mem[0])
+		visited[mem[0]] = true
+		count := 0
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if m.M[v] == int32(a) && !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if count != len(mem) {
+			return fmt.Errorf("coarsen: aggregate %d is disconnected (%d of %d reachable)",
+				a, count, len(mem))
+		}
+	}
+	return nil
+}

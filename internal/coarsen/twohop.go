@@ -1,0 +1,238 @@
+package coarsen
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// TwoHop is the mt-Metis coarsening scheme (LaSalle et al.), new to the
+// GPU in the paper: parallel HEM first, then — if too many vertices remain
+// unmatched — two-hop matches, which contract vertices that are not
+// adjacent but share a neighbor. The two-hop sub-classes run in order and
+// each is skipped once the unmatched ratio falls below the threshold:
+// leaves (degree-1 vertices hanging off the same vertex), twins (vertices
+// with identical adjacency lists), and relatives (any two unmatched
+// vertices sharing a neighbor).
+type TwoHop struct {
+	MaxPasses int // HEM pass bound, 0 means default
+
+	// UnmatchedThreshold is the fraction of unmatched vertices above which
+	// the next two-hop phase runs; mt-Metis uses a comparable constant.
+	// Zero means the default of 0.10.
+	UnmatchedThreshold float64
+
+	// MaxTwinDegree bounds the adjacency-list comparison for twin
+	// matching; mt-Metis uses a similar cap. Zero means the default of 64.
+	MaxTwinDegree int
+}
+
+// Name implements Mapper.
+func (TwoHop) Name() string { return "twohop" }
+
+// Map implements Mapper.
+func (t TwoHop) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
+	n := g.N()
+	threshold := t.UnmatchedThreshold
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	maxTwinDeg := t.MaxTwinDegree
+	if maxTwinDeg <= 0 {
+		maxTwinDeg = 64
+	}
+	match, passes, passMapped := hemMatch(g, seed, p, t.MaxPasses, false)
+
+	unmatchedRatio := func() float64 {
+		if n == 0 {
+			return 0
+		}
+		c := par.CountInt64(n, p, func(i int) bool { return match[i] == unset })
+		return float64(c) / float64(n)
+	}
+	if unmatchedRatio() > threshold {
+		leafMatch(g, match, p)
+	}
+	if unmatchedRatio() > threshold {
+		twinMatch(g, match, p, maxTwinDeg, seed)
+	}
+	if unmatchedRatio() > threshold {
+		relativeMatch(g, match, p)
+	}
+	// Whatever is still unmatched becomes a singleton.
+	par.ForEach(n, p, func(i int) {
+		if match[i] == unset {
+			match[i] = int32(i)
+		}
+	})
+	m, nc := matchToMapping(match)
+	return &Mapping{M: m, NC: nc, Passes: passes, PassMapped: passMapped}, nil
+}
+
+// leafMatch pairs up unmatched degree-1 vertices that hang off the same
+// vertex (tech-report Algorithm 11). A degree-1 vertex is reachable only
+// through its unique neighbor, so iterating over potential centers gives
+// each leaf exactly one owner and the phase needs no synchronization
+// beyond the parallel loop.
+func leafMatch(g *graph.Graph, match []int32, p int) {
+	par.ForEachChunked(g.N(), p, 256, func(i int) {
+		v := int32(i)
+		adj, _ := g.Neighbors(v)
+		if len(adj) < 2 {
+			return
+		}
+		prev := unset
+		for _, u := range adj {
+			if match[u] != unset || g.Degree(u) != 1 {
+				continue
+			}
+			if prev == unset {
+				prev = u
+				continue
+			}
+			match[prev] = u
+			match[u] = prev
+			prev = unset
+		}
+	})
+}
+
+// twinMatch pairs unmatched vertices with identical adjacency lists
+// (tech-report Algorithm 12). Candidate groups are found by hashing each
+// sorted adjacency list and sorting the (hash, vertex) pairs; hash
+// collisions are resolved by comparing the actual lists. Twins are never
+// adjacent (a vertex cannot appear in its own adjacency list), so pairing
+// them is always a valid two-hop contraction.
+func twinMatch(g *graph.Graph, match []int32, p, maxDeg int, seed uint64) {
+	n := g.N()
+	cand := par.Pack(n, p, func(i int) bool {
+		d := g.Degree(int32(i))
+		return match[i] == unset && d >= 1 && d <= int64(maxDeg)
+	})
+	if len(cand) < 2 {
+		return
+	}
+	keys := make([]uint64, len(cand))
+	vals := make([]uint64, len(cand))
+	scratch := make([][]int32, par.Workers(p, len(cand)))
+	par.For(len(cand), p, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := cand[i]
+			keys[i] = adjacencyHash(g, u, &scratch[w], seed)
+			vals[i] = uint64(u)
+		}
+	})
+	par.RadixSortPairs(keys, vals, p)
+	// Walk hash groups; within a group, greedily pair verified twins.
+	// Groups are disjoint vertex sets, so this loop could be parallelized
+	// over group boundaries; group sizes are tiny in practice and the scan
+	// is linear, so it runs sequentially for simplicity.
+	var buf1, buf2 []int32
+	for lo := 0; lo < len(keys); {
+		hi := lo + 1
+		for hi < len(keys) && keys[hi] == keys[lo] {
+			hi++
+		}
+		if hi-lo >= 2 {
+			prevIdx := -1
+			for i := lo; i < hi; i++ {
+				u := int32(vals[i])
+				if match[u] != unset {
+					continue
+				}
+				if prevIdx < 0 {
+					prevIdx = i
+					continue
+				}
+				v := int32(vals[prevIdx])
+				if sameAdjacency(g, u, v, &buf1, &buf2) {
+					match[u] = v
+					match[v] = u
+					prevIdx = -1
+				}
+			}
+		}
+		lo = hi
+	}
+}
+
+// adjacencyHash returns an order-independent-but-verified hash of u's
+// neighbor ids: the list is copied, sorted, and FNV-style mixed, so equal
+// lists always collide and unequal lists almost never do.
+func adjacencyHash(g *graph.Graph, u int32, scratch *[]int32, seed uint64) uint64 {
+	adj, _ := g.Neighbors(u)
+	buf := append((*scratch)[:0], adj...)
+	*scratch = buf
+	w := make([]int64, len(buf)) // weights ignored for twin identity
+	par.SortPairsInt32(buf, w)
+	h := par.Mix64(seed ^ uint64(len(buf)))
+	for _, v := range buf {
+		h = par.Mix64(h ^ uint64(uint32(v)))
+	}
+	return h
+}
+
+// sameAdjacency reports whether u and v have identical neighbor sets.
+func sameAdjacency(g *graph.Graph, u, v int32, buf1, buf2 *[]int32) bool {
+	au, _ := g.Neighbors(u)
+	av, _ := g.Neighbors(v)
+	if len(au) != len(av) {
+		return false
+	}
+	b1 := append((*buf1)[:0], au...)
+	b2 := append((*buf2)[:0], av...)
+	*buf1, *buf2 = b1, b2
+	w1 := make([]int64, len(b1))
+	w2 := make([]int64, len(b2))
+	par.SortPairsInt32(b1, w1)
+	par.SortPairsInt32(b2, w2)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relativeMatch pairs unmatched vertices that share any neighbor
+// (tech-report Algorithm 13). Each center vertex scans its adjacency for
+// unmatched vertices and pairs them two at a time; a CAS-claimed flag per
+// vertex keeps centers that share candidates from pairing the same vertex
+// twice.
+func relativeMatch(g *graph.Graph, match []int32, p int) {
+	n := g.N()
+	claim := make([]int32, n)
+	par.ForEachChunked(n, p, 128, func(i int) {
+		v := int32(i)
+		adj, _ := g.Neighbors(v)
+		if len(adj) < 2 {
+			return
+		}
+		prev := unset
+		for _, u := range adj {
+			if atomic.LoadInt32(&match[u]) != unset {
+				continue
+			}
+			if !atomic.CompareAndSwapInt32(&claim[u], 0, 1) {
+				continue
+			}
+			// Claim can race with a concurrent match of u through another
+			// path; re-check after claiming.
+			if atomic.LoadInt32(&match[u]) != unset {
+				atomic.StoreInt32(&claim[u], 0)
+				continue
+			}
+			if prev == unset {
+				prev = u
+				continue
+			}
+			atomic.StoreInt32(&match[prev], u)
+			atomic.StoreInt32(&match[u], prev)
+			prev = unset
+		}
+		if prev != unset {
+			atomic.StoreInt32(&claim[prev], 0) // release the odd one out
+		}
+	})
+}

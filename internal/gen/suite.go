@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"fmt"
+
+	"mlcg/internal/graph"
+)
+
+// Instance is one workload of the Table I analog: a named synthetic
+// stand-in for one of the paper's 20 graphs.
+type Instance struct {
+	Name    string // the paper graph this stands in for
+	Domain  string // paper's domain tag
+	Skewed  bool   // paper group: false = regular, true = skewed-degree
+	Graph   *graph.Graph
+	Comment string // which generator produced it
+}
+
+// SuiteOptions controls workload sizes. Scale linearly multiplies vertex
+// counts (Scale=1 is the laptop-sized default, roughly 2-60k vertices and
+// 10-300k edges per graph; the paper's originals are ~1000× larger).
+type SuiteOptions struct {
+	Scale int
+	Seed  uint64
+}
+
+// DefaultSuite returns Suite with Scale 1 and a fixed seed.
+func DefaultSuite() []Instance {
+	return Suite(SuiteOptions{Scale: 1, Seed: 20210517})
+}
+
+// Suite generates the 20-graph collection mirroring Table I: ten regular
+// graphs and ten skewed-degree graphs, each the closest synthetic analog of
+// its paper counterpart, ordered as in the paper (by 2m+n within group).
+func Suite(opt SuiteOptions) []Instance {
+	if opt.Scale < 1 {
+		opt.Scale = 1
+	}
+	s := opt.Scale
+	seed := opt.Seed
+	isqrt := func(x int) int {
+		r := 1
+		for r*r < x {
+			r++
+		}
+		return r
+	}
+	_ = isqrt
+
+	regular := []Instance{
+		{Name: "HV15R", Domain: "cfd", Graph: Grid3D(36*s, 36, 36), Comment: "3D grid (CFD mesh analog)"},
+		{Name: "rgg24", Domain: "syn", Graph: RGG(42000*s, 0, seed+1), Comment: "random geometric graph"},
+		{Name: "nlpkkt160", Domain: "opt", Graph: Grid3D(32*s, 32, 32), Comment: "3D grid (KKT mesh analog)"},
+		{Name: "europeOsm", Domain: "road", Graph: RoadLike(210*s, 210, seed+2), Comment: "perturbed lattice road network"},
+		{Name: "CubeCoup", Domain: "fem", Graph: Grid3D(28*s, 28, 28), Comment: "3D grid (FEM analog)"},
+		{Name: "delaunay24", Domain: "syn", Graph: TriMesh(130*s, 130, seed+3), Comment: "triangulated lattice"},
+		{Name: "Flan1565", Domain: "fem", Graph: Grid3D(26*s, 26, 26), Comment: "3D grid (FEM analog)"},
+		{Name: "MLGeer", Domain: "sim", Graph: Banded(16000*s, 6, 0.8, seed+4), Comment: "banded matrix graph"},
+		{Name: "cage15", Domain: "bio", Graph: Banded(14000*s, 8, 0.55, seed+5), Comment: "banded DNA-electrophoresis analog"},
+		{Name: "channel050", Domain: "sim", Graph: Grid2D(110*s, 110), Comment: "2D channel grid"},
+	}
+	skewed := []Instance{
+		{Name: "ic04", Domain: "www", Skewed: true, Graph: WebLike(24000*s, seed+6), Comment: "web crawl analog with mega-hubs"},
+		{Name: "Orkut", Domain: "soc", Skewed: true, Graph: BA(16000*s, 12, seed+7), Comment: "preferential attachment"},
+		{Name: "vasStokes4M", Domain: "vlsi", Skewed: true, Graph: BA(20000*s, 5, seed+8), Comment: "moderate-skew preferential attachment"},
+		{Name: "kmerU1a", Domain: "bio", Skewed: true, Graph: ChainLike(40000*s, seed+9), Comment: "long chains with sparse junctions"},
+		{Name: "kron21", Domain: "syn", Skewed: true, Graph: RMAT(14, 12, seed+10), Comment: "R-MAT Kronecker"},
+		{Name: "products", Domain: "ecom", Skewed: true, Graph: Caveman(800*s, 14, 0.5, seed+11), Comment: "clique communities (co-purchase analog)"},
+		{Name: "hollywood09", Domain: "soc", Skewed: true, Graph: BA(9000*s, 16, seed+12), Comment: "dense preferential attachment"},
+		{Name: "mycielskian17", Domain: "syn", Skewed: true, Graph: Mycielskian(9), Comment: "Mycielskian construction"},
+		{Name: "citation", Domain: "cit", Skewed: true, Graph: CitationLike(22000*s, seed+13), Comment: "heavy-tailed citation DAG (symmetrized)"},
+		{Name: "ppa", Domain: "bio", Skewed: true, Graph: BA(6000*s, 20, seed+14), Comment: "protein-association analog"},
+	}
+	if s > 1 {
+		// RMAT and Mycielskian scale by construction parameters, not vertex
+		// multipliers; bump their generation size with log2(scale).
+		extra := 0
+		for v := 1; v < s; v *= 2 {
+			extra++
+		}
+		skewed[4].Graph = RMAT(14+extra, 12, seed+10)
+		my := 9 + extra
+		if my > 14 {
+			my = 14
+		}
+		skewed[7].Graph = Mycielskian(my)
+	}
+	out := append(regular, skewed...)
+	for i := range out {
+		if !out[i].Graph.IsConnected() {
+			panic(fmt.Sprintf("gen: suite instance %s is disconnected", out[i].Name))
+		}
+	}
+	return out
+}
+
+// FamilyGraph generates one member of a weak-scaling family (Fig 3 right):
+// family is "rgg", "delaunay", or "kron", scale multiplies the base size.
+func FamilyGraph(family string, scale int, seed uint64) (*graph.Graph, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	switch family {
+	case "rgg":
+		return RGG(12000*scale, 0, seed), nil
+	case "delaunay":
+		side := 70
+		for s := 1; s < scale; s *= 2 {
+			side = side * 141 / 100 // sqrt(2) per doubling keeps n ∝ scale
+		}
+		return TriMesh(side, side, seed), nil
+	case "kron":
+		extra := 0
+		for s := 1; s < scale; s *= 2 {
+			extra++
+		}
+		return RMAT(12+extra, 10, seed), nil
+	}
+	return nil, fmt.Errorf("gen: unknown family %q (want rgg, delaunay, or kron)", family)
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlcg/internal/par"
+)
+
+func TestConnectedComponentsParMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		// Triangle + edge + isolated vertex.
+		g := MustFromEdges(6, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 4, 1}})
+		comp, k := g.ConnectedComponentsPar(p)
+		if k != 3 {
+			t.Fatalf("p=%d: k = %d, want 3", p, k)
+		}
+		if comp[0] != comp[1] || comp[1] != comp[2] {
+			t.Errorf("triangle split: %v", comp)
+		}
+		if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+			t.Errorf("labels wrong: %v", comp)
+		}
+	}
+}
+
+func TestConnectedComponentsParQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := par.NewRNG(seed)
+		n := int(nRaw%80) + 2
+		var e []Edge
+		// Random sparse edges: typically several components.
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				e = append(e, Edge{int32(u), int32(v), 1})
+			}
+		}
+		g := MustFromEdges(n, e)
+		seqComp, seqK := g.ConnectedComponents()
+		parComp, parK := g.ConnectedComponentsPar(3)
+		if seqK != parK {
+			return false
+		}
+		// Same partition up to renumbering: equal labels iff equal labels.
+		remap := map[int32]int32{}
+		for u := 0; u < n; u++ {
+			if want, ok := remap[seqComp[u]]; ok {
+				if parComp[u] != want {
+					return false
+				}
+			} else {
+				remap[seqComp[u]] = parComp[u]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectedComponentsParPath(t *testing.T) {
+	// A long path stresses the pointer-jumping convergence.
+	n := 5000
+	var e []Edge
+	for i := 0; i < n-1; i++ {
+		e = append(e, Edge{int32(i), int32(i + 1), 1})
+	}
+	g := MustFromEdges(n, e)
+	comp, k := g.ConnectedComponentsPar(4)
+	if k != 1 {
+		t.Fatalf("k = %d", k)
+	}
+	for _, c := range comp {
+		if c != 0 {
+			t.Fatal("path split")
+		}
+	}
+}
+
+func TestConnectedComponentsParEmpty(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	if _, k := g.ConnectedComponentsPar(2); k != 0 {
+		t.Errorf("k = %d", k)
+	}
+}

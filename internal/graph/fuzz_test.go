@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// headerTooBigForFuzz skips inputs whose (legitimate) header asks for more
+// vertices than the fuzz environment's memory budget allows. The parsers
+// themselves cap at MaxParseVertices and tie buffer growth to actual
+// content; this guard only bounds the fuzz harness's peak RSS.
+func headerTooBigForFuzz(in string) bool {
+	for _, line := range strings.Split(in, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[0], 10, 64)
+		return err == nil && n > 1<<20
+	}
+	return false
+}
+
+// The fuzz targets double as robustness tests: with `go test` they run
+// over the seed corpus; `go test -fuzz=FuzzReadEdgeList` explores further.
+
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"3 2\n0 1\n1 2 5\n",
+		"0 0\n",
+		"2 1\n0 1 9223372036854775807\n",
+		"# comment\n% more\n1 0\n",
+		"4 3\n0 1\n1 2\n2 3\n",
+		"junk",
+		"3 2\n0 1\n0 1\n", // duplicate: header mismatch after merge
+		"2 1\n1 0 -5\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if headerTooBigForFuzz(in) {
+			t.Skip()
+		}
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, in)
+		}
+		// Round trip must succeed and reproduce the graph.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !Equal(g, h) {
+			t.Fatalf("round trip changed the graph\ninput: %q", in)
+		}
+	})
+}
+
+func FuzzReadMetis(f *testing.F) {
+	seeds := []string{
+		"3 2\n2\n1 3\n2\n",
+		"3 2 001\n2 5\n1 5 3 4\n2 4\n",
+		"3 2 010\n7 2\n3 1 3\n2 2\n",
+		"2 1 011 1\n1 2 9\n1 1 9\n",
+		"% c\n1 0\n\n",
+		"7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n",
+		"bogus",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if headerTooBigForFuzz(in) {
+			t.Skip()
+		}
+		g, err := ReadMetis(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted metis graph fails validation: %v\ninput: %q", err, in)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteMetis(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadMetis(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %q\nwritten: %q", err, in, buf.String())
+		}
+		if !Equal(g, h) {
+			t.Fatalf("round trip changed the graph\ninput: %q", in)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid container and mutations of it.
+	g := MustFromEdges(3, []Edge{{0, 1, 2}, {1, 2, 3}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0xff
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		// Bound the fuzz harness's memory: the header's claimed n lives in
+		// bytes 8..16 (little endian).
+		if len(in) >= 24 {
+			le := func(lo int) uint64 {
+				v := uint64(0)
+				for i := lo + 7; i >= lo; i-- {
+					v = v<<8 | uint64(in[i])
+				}
+				return v
+			}
+			if le(8) > 1<<20 || le(16) > 1<<22 { // claimed n, nnz
+				t.Skip()
+			}
+		}
+		h, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("accepted binary graph fails validation: %v", err)
+		}
+	})
+}

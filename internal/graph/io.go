@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as a plain-text edge list: a header line
+// "n m" followed by one "u v w" line per undirected edge (u < v).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumV, g.M()); err != nil {
+		return err
+	}
+	for u := int32(0); u < g.NumV; u++ {
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d %d\n", u, v, wgt[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxParseVertices bounds the vertex count parsers accept (2^28). The
+// limit exists so that a tiny crafted header cannot demand an enormous
+// allocation; it is far above the module's laptop-scale workloads.
+const MaxParseVertices = 1 << 28
+
+// maxParseEdges bounds claimed edge counts the parsers trust.
+const maxParseEdges = int64(1) << 33
+
+// ReadEdgeList parses the format written by WriteEdgeList. The weight
+// column is optional (defaults to 1), so plain "u v" edge lists load too.
+// Lines starting with '#' or '%' are comments.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	var m int64
+	var edges []Edge
+	lineNo := 0
+	header := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !header {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: header must be \"n m\"", lineNo)
+			}
+			nn, err1 := strconv.Atoi(fields[0])
+			mm, err2 := strconv.ParseInt(fields[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", lineNo, line)
+			}
+			if nn < 0 || nn > MaxParseVertices || mm < 0 || mm > maxParseEdges {
+				return nil, fmt.Errorf("graph: line %d: implausible header n=%d m=%d", lineNo, nn, mm)
+			}
+			n, m = nn, mm
+			// Capacity grows with actual content, never with the claimed
+			// header (which an adversarial input controls).
+			edges = make([]Edge, 0, min64(m, 1<<16))
+			header = true
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v [w]\", got %q", lineNo, line)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 32)
+		v, err2 := strconv.ParseInt(fields[1], 10, 32)
+		w := int64(1)
+		var err3 error
+		if len(fields) == 3 {
+			w, err3 = strconv.ParseInt(fields[2], 10, 64)
+		}
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge %q", lineNo, line)
+		}
+		edges = append(edges, Edge{int32(u), int32(v), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d after dedup", m, g.M())
+	}
+	return g, nil
+}
+
+const binMagic = uint64(0x6d6c63672d637372) // "mlcg-csr"
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteBinary writes g in a compact little-endian CSR container. The
+// format: magic, n, nnz, hasVWgt flag, then Xadj, Adj, Wgt, and VWgt.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{binMagic, uint64(g.NumV), uint64(len(g.Adj)), 0}
+	if g.VWgt != nil {
+		hdr[3] = 1
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Xadj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Wgt); err != nil {
+		return err
+	}
+	if g.VWgt != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.VWgt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the container written by WriteBinary and validates the
+// result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: short binary header: %w", err)
+		}
+	}
+	if hdr[0] != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, nnz := int(hdr[1]), int(hdr[2])
+	if n < 0 || nnz < 0 || n > MaxParseVertices || int64(nnz) > 2*maxParseEdges {
+		return nil, fmt.Errorf("graph: bad binary sizes n=%d nnz=%d", n, nnz)
+	}
+	g := &Graph{
+		NumV: int32(n),
+		Xadj: make([]int64, n+1),
+		Adj:  make([]int32, nnz),
+		Wgt:  make([]int64, nnz),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Xadj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Wgt); err != nil {
+		return nil, err
+	}
+	if hdr[3] == 1 {
+		g.VWgt = make([]int64, n)
+		if err := binary.Read(br, binary.LittleEndian, g.VWgt); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format, optionally coloring vertices by
+// a group array (e.g. a coarse mapping or a bisection part vector). Used by
+// the Fig 1 demo to visualize one level of coarsening.
+func (g *Graph) WriteDOT(w io.Writer, name string, group []int32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	palette := []string{
+		"lightblue", "salmon", "palegreen", "gold", "plum", "lightgray",
+		"orange", "cyan", "pink", "yellowgreen", "tan", "orchid",
+	}
+	for u := int32(0); u < g.NumV; u++ {
+		if group != nil {
+			color := palette[int(group[u])%len(palette)]
+			fmt.Fprintf(bw, "  %d [style=filled, fillcolor=%s, label=\"%d/%d\"];\n", u, color, u, group[u])
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", u)
+		}
+	}
+	for u := int32(0); u < g.NumV; u++ {
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v {
+				fmt.Fprintf(bw, "  %d -- %d [label=%d];\n", u, v, wgt[i])
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1, 2}, {1, 2, 3}, {2, 3, 1}, {3, 4, 9}, {4, 0, 1}})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, h) {
+		t.Error("edge-list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListDefaultsAndComments(t *testing.T) {
+	in := `# a comment
+% another comment
+3 2
+0 1
+1 2 5
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("default weight = %d, want 1", w)
+	}
+	if w, _ := g.EdgeWeight(1, 2); w != 5 {
+		t.Errorf("explicit weight = %d, want 5", w)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"junk header\n",  // bad header
+		"2\n",            // header with one field
+		"2 1\n0 1 2 3\n", // too many fields
+		"2 1\n0 x\n",     // non-numeric
+		"2 5\n0 1\n",     // edge count mismatch
+		"2 1\n0 1 0\n",   // zero weight
+		"2 1\n0 7\n",     // out of range
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1, 2}, {1, 2, 3}, {2, 3, 1}, {3, 4, 9}, {4, 5, 1}, {5, 0, 4}})
+	g.MaterializeVWgt()
+	g.VWgt[3] = 11
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, h) {
+		t.Error("binary round trip changed the graph")
+	}
+	if h.VWgt == nil || h.VWgt[3] != 11 {
+		t.Error("vertex weights lost in binary round trip")
+	}
+}
+
+func TestBinaryRoundTripNilVWgt(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1, 1}, {1, 2, 1}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.VWgt != nil {
+		t.Error("nil VWgt materialized by round trip")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short input accepted")
+	}
+	bad := make([]byte, 64)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1, 2}, {1, 2, 1}})
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "demo", []int32{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph \"demo\"", "0 -- 1 [label=2]", "1 -- 2 [label=1]", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := g.WriteDOT(&buf, "plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fillcolor") {
+		t.Error("ungrouped DOT should not color nodes")
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+)
+
+// bandwidth returns max |pos[u]-pos[v]| over edges.
+func bandwidth(g *Graph, perm []int32) int64 {
+	pos := make([]int64, g.N())
+	for p, u := range perm {
+		pos[u] = int64(p)
+	}
+	var bw int64
+	for u := int32(0); u < g.NumV; u++ {
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			d := pos[u] - pos[v]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	g := randomGraphFromSeed(7, 200)
+	perm, err := g.RCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.N())
+	for _, v := range perm {
+		if seen[v] {
+			t.Fatal("duplicate in RCM permutation")
+		}
+		seen[v] = true
+	}
+	if len(perm) != g.N() {
+		t.Fatalf("covers %d of %d", len(perm), g.N())
+	}
+}
+
+func TestRCMReducesBandwidthVsShuffle(t *testing.T) {
+	// A grid with a scrambled identity baseline: RCM should achieve
+	// near-minimal bandwidth (a k×k grid has optimal bandwidth ~k).
+	const k = 16
+	var e []Edge
+	id := func(i, j int) int32 { return int32(i*k + j) }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if j+1 < k {
+				e = append(e, Edge{id(i, j), id(i, j+1), 1})
+			}
+			if i+1 < k {
+				e = append(e, Edge{id(i, j), id(i+1, j), 1})
+			}
+		}
+	}
+	g := MustFromEdges(k*k, e)
+	perm, err := g.RCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := bandwidth(g, perm); bw > 2*k {
+		t.Errorf("RCM bandwidth %d on a %dx%d grid, want ~%d", bw, k, k, k)
+	}
+}
+
+func TestRCMOnPathIsMonotone(t *testing.T) {
+	// RCM of a path is the path itself (bandwidth 1), up to direction.
+	g := path(50)
+	perm, err := g.RCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := bandwidth(g, perm); bw != 1 {
+		t.Errorf("path bandwidth %d, want 1", bw)
+	}
+}
+
+func TestRCMRejectsDisconnected(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1, 1}})
+	if _, err := g.RCM(); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestRCMEmpty(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	perm, err := g.RCM()
+	if err != nil || perm != nil {
+		t.Errorf("perm=%v err=%v", perm, err)
+	}
+}

@@ -1,0 +1,91 @@
+package par
+
+// Deterministic, splittable pseudo-random number generation. Every
+// algorithm in this module takes an explicit seed; per-worker streams are
+// derived with SplitMix64 so parallel runs do not share RNG state.
+
+// SplitMix64 advances the state and returns the next 64-bit output. It is
+// used both as a standalone generator for seeding and as the per-element
+// hash in the sort-based random permutation.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 is the stateless SplitMix64 finalizer: a high-quality 64-bit mixing
+// of x. Mix64 of distinct inputs under a fixed seed behaves like a random
+// function, which is exactly what the sort-based permutation needs.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is xoshiro256** — a small, fast generator with 256-bit state used for
+// sequential decisions (initial-partition seeds, tie-breaking experiments).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, per the
+// xoshiro authors' recommendation.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	st := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&st)
+	}
+	// All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+	// zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit output.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("par: RNG.Intn n must be positive")
+	}
+	// Lemire's nearly-divisionless bounded generation would be overkill
+	// here; modulo bias is negligible for the graph sizes involved, but use
+	// rejection sampling anyway for exactness.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split returns a new RNG whose stream is independent of r's future output.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,139 @@
+package par
+
+// PrefixSumInt64 computes the exclusive prefix sum of src into dst, which
+// must have len(src)+1 entries; dst[0] = 0 and dst[len(src)] is the total.
+// The parallel version is a classic three-phase blocked scan: per-block
+// sums, a sequential scan over the (small) block totals, then a per-block
+// fill. Returns the total.
+func PrefixSumInt64(dst, src []int64, p int) int64 {
+	n := len(src)
+	if len(dst) != n+1 {
+		panic("par: PrefixSumInt64 dst must have len(src)+1 entries")
+	}
+	p = Workers(p, n)
+	if n == 0 {
+		dst[0] = 0
+		return 0
+	}
+	if p == 1 || n < 4096 {
+		var sum int64
+		for i, v := range src {
+			dst[i] = sum
+			sum += v
+		}
+		dst[n] = sum
+		return sum
+	}
+	blockSums := make([]int64, p)
+	For(n, p, func(w, lo, hi int) {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += src[i]
+		}
+		blockSums[w] = sum
+	})
+	var total int64
+	for w := 0; w < p; w++ {
+		s := blockSums[w]
+		blockSums[w] = total
+		total += s
+	}
+	For(n, p, func(w, lo, hi int) {
+		sum := blockSums[w]
+		for i := lo; i < hi; i++ {
+			dst[i] = sum
+			sum += src[i]
+		}
+	})
+	dst[n] = total
+	return total
+}
+
+// PrefixSumInt32 is PrefixSumInt64 for int32 counters with int64 offsets.
+// dst must have len(src)+1 entries.
+func PrefixSumInt32(dst []int64, src []int32, p int) int64 {
+	n := len(src)
+	if len(dst) != n+1 {
+		panic("par: PrefixSumInt32 dst must have len(src)+1 entries")
+	}
+	p = Workers(p, n)
+	if n == 0 {
+		dst[0] = 0
+		return 0
+	}
+	if p == 1 || n < 4096 {
+		var sum int64
+		for i, v := range src {
+			dst[i] = sum
+			sum += int64(v)
+		}
+		dst[n] = sum
+		return sum
+	}
+	blockSums := make([]int64, p)
+	For(n, p, func(w, lo, hi int) {
+		var sum int64
+		for i := lo; i < hi; i++ {
+			sum += int64(src[i])
+		}
+		blockSums[w] = sum
+	})
+	var total int64
+	for w := 0; w < p; w++ {
+		s := blockSums[w]
+		blockSums[w] = total
+		total += s
+	}
+	For(n, p, func(w, lo, hi int) {
+		sum := blockSums[w]
+		for i := lo; i < hi; i++ {
+			dst[i] = sum
+			sum += int64(src[i])
+		}
+	})
+	dst[n] = total
+	return total
+}
+
+// Pack writes the indices i in [0, n) for which keep(i) is true into a
+// freshly allocated slice, preserving index order. This is the parallel
+// stream-compaction used to gather unmapped vertices between passes of the
+// lock-free HEC/HEM algorithms (Algorithm 4, lines 22-28).
+func Pack(n, p int, keep func(i int) bool) []int32 {
+	p = Workers(p, n)
+	if n == 0 {
+		return nil
+	}
+	if p == 1 {
+		var out []int32
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	counts := make([]int64, p)
+	For(n, p, func(w, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[w] = c
+	})
+	offsets := make([]int64, p+1)
+	total := PrefixSumInt64(offsets, counts, 1)
+	out := make([]int32, total)
+	For(n, p, func(w, lo, hi int) {
+		pos := offsets[w]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[pos] = int32(i)
+				pos++
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"math"
+	"testing"
+)
+
+// rayleigh computes x^T L x for a unit vector.
+func rayleigh(g interface {
+	Neighbors(int32) ([]int32, []int64)
+	N() int
+}, x []float64) float64 {
+	var num float64
+	for u := 0; u < g.N(); u++ {
+		adj, wgt := g.Neighbors(int32(u))
+		for k, v := range adj {
+			if int32(u) < v {
+				d := x[u] - x[v]
+				num += float64(wgt[k]) * d * d
+			}
+		}
+	}
+	return num
+}
+
+func TestCascadicFiedlerMatchesDirect(t *testing.T) {
+	g := gridGraph(20, 20)
+	direct, _ := Fiedler(g, nil, 3, FiedlerOptions{MaxIter: 6000, Workers: 1})
+	for _, useACE := range []bool{false, true} {
+		x, iters, err := CascadicFiedler(g, CascadicOptions{
+			UseACE:  useACE,
+			Fiedler: FiedlerOptions{MaxIter: 2000, Workers: 1},
+			Seed:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iters == 0 || len(x) != g.N() {
+			t.Fatalf("ace=%v: iters=%d len=%d", useACE, iters, len(x))
+		}
+		// Rayleigh quotients of the multigrid and direct solutions agree.
+		rqC, rqD := rayleigh(g, x), rayleigh(g, direct)
+		if math.Abs(rqC-rqD) > 0.05*rqD+1e-9 {
+			t.Errorf("ace=%v: cascadic RQ %v vs direct %v", useACE, rqC, rqD)
+		}
+	}
+}
+
+func TestCascadicSplitQuality(t *testing.T) {
+	// The multigrid vector must partition the grid as well as the direct
+	// one.
+	g := gridGraph(24, 24)
+	x, _, err := CascadicFiedler(g, CascadicOptions{
+		Fiedler: FiedlerOptions{MaxIter: 1500, Workers: 1},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := SplitByVector(g, x)
+	if cut := EdgeCut(g, part); cut > 40 {
+		t.Errorf("cascadic spectral cut %d on a 24x24 grid (straight cut = 24)", cut)
+	}
+}
+
+func TestCascadicFiedlerEmpty(t *testing.T) {
+	x, _, err := CascadicFiedler(pathGraph(1), CascadicOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 1 {
+		t.Errorf("len = %d", len(x))
+	}
+}

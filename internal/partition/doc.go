@@ -1,0 +1,28 @@
+package partition
+
+// Concept-to-code map (Section III.C of the paper and the standard
+// multilevel-partitioning literature it builds on):
+//
+//	spectral partitioning (power iteration,
+//	  1e-10 stopping rule)...................... Fiedler, SpectralBisector
+//	multiple eigenvectors (drawing/embedding)... FiedlerK, SpectralCoordinates
+//	cascadic multigrid Fiedler (ref [14],
+//	  where HEC originates)..................... CascadicFiedler (+ ACE option)
+//	Fiduccia–Mattheyses refinement [27]......... RefineFM, fmPass, gainBuckets
+//	greedy graph growing initial partition...... GreedyGrow(Target)
+//	multilevel FM pipeline (Table VI)........... FMBisector
+//	Metis / mt-Metis baselines (Table VI)....... NewMetisLike, NewMtMetisLike
+//	fully parallel refinement (paper §V
+//	  future work).............................. RefineParallelGreedy
+//	recursive k-way (FM and spectral,
+//	  proportional targets)..................... KWayFM, KWaySpectral
+//	pairwise KL k-way cleanup................... RefineKWayPairwise
+//	vertex separators / nested dissection....... VertexSeparator, NestedDissection
+//	metrics..................................... EdgeCut, KWayEdgeCut,
+//	                                             Imbalance, EnvelopeSize
+//
+// Balance conventions: bisections are reported at the paper's no-imbalance
+// setting (|w0 − w1| bounded by the largest vertex weight, which for
+// unit-weight inputs means an essentially perfect split); mid-pass FM moves
+// may overshoot by one vertex per side (the classic FM criterion); k-way
+// targets are proportional, so non-power-of-two k stays balanced.

@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFiedlerKOrthogonality(t *testing.T) {
+	g := gridGraph(12, 12)
+	xs, iters := FiedlerK(g, 3, nil, 7, FiedlerOptions{MaxIter: 3000, Workers: 1})
+	if len(xs) != 3 || iters == 0 {
+		t.Fatalf("got %d vectors in %d iters", len(xs), iters)
+	}
+	for j, x := range xs {
+		// Unit norm.
+		var norm2, sum float64
+		for _, v := range x {
+			norm2 += v * v
+			sum += v
+		}
+		if math.Abs(norm2-1) > 1e-9 {
+			t.Errorf("vector %d norm^2 = %v", j, norm2)
+		}
+		// Orthogonal to the constant vector.
+		if math.Abs(sum) > 1e-8 {
+			t.Errorf("vector %d not deflated: sum %v", j, sum)
+		}
+		for pj := 0; pj < j; pj++ {
+			if d := dotVec(x, xs[pj]); math.Abs(d) > 1e-6 {
+				t.Errorf("vectors %d,%d not orthogonal: %v", pj, j, d)
+			}
+		}
+	}
+}
+
+func TestFiedlerKEigenvalueOrder(t *testing.T) {
+	// Rayleigh quotients must come out non-decreasing.
+	g := gridGraph(10, 14)
+	xs, _ := FiedlerK(g, 3, nil, 5, FiedlerOptions{MaxIter: 4000, Workers: 1})
+	rq := func(x []float64) float64 {
+		var num float64
+		for u := int32(0); u < g.NumV; u++ {
+			adj, wgt := g.Neighbors(u)
+			for k, v := range adj {
+				if u < v {
+					d := x[u] - x[v]
+					num += float64(wgt[k]) * d * d
+				}
+			}
+		}
+		return num
+	}
+	prev := -1.0
+	for j, x := range xs {
+		q := rq(x)
+		if q < prev-1e-6 {
+			t.Errorf("Rayleigh quotient order violated at %d: %v < %v", j, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestFiedlerKMatchesFiedler(t *testing.T) {
+	// k=1 must agree with the single-vector solver up to sign.
+	g := pathGraph(24)
+	x1, _ := Fiedler(g, nil, 3, FiedlerOptions{MaxIter: 8000, Workers: 1})
+	xs, _ := FiedlerK(g, 1, nil, 3, FiedlerOptions{MaxIter: 8000, Workers: 1})
+	dot := dotVec(x1, xs[0])
+	if math.Abs(math.Abs(dot)-1) > 1e-6 {
+		t.Errorf("|<x1, xk>| = %v, want 1", math.Abs(dot))
+	}
+}
+
+func TestSpectralCoordinatesGrid(t *testing.T) {
+	// Spectral drawing of a grid recovers a grid-like embedding: corner
+	// vertices spread out, and the embedding is non-degenerate.
+	g := gridGraph(16, 16)
+	coords, err := SpectralCoordinates(g, DrawOptions{
+		Fiedler: FiedlerOptions{MaxIter: 1500, Workers: 2},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != g.N() {
+		t.Fatalf("%d coordinates", len(coords))
+	}
+	var minX, maxX, minY, maxY float64
+	for _, c := range coords {
+		minX = math.Min(minX, c[0])
+		maxX = math.Max(maxX, c[0])
+		minY = math.Min(minY, c[1])
+		maxY = math.Max(maxY, c[1])
+	}
+	if maxX-minX < 1e-3 || maxY-minY < 1e-3 {
+		t.Errorf("degenerate drawing: x range %v, y range %v", maxX-minX, maxY-minY)
+	}
+	// Adjacent vertices must be closer than the layout diameter (the
+	// smoothness property spectral layouts provide).
+	diam := math.Hypot(maxX-minX, maxY-minY)
+	var worst float64
+	for u := int32(0); u < g.NumV; u++ {
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			d := math.Hypot(coords[u][0]-coords[v][0], coords[u][1]-coords[v][1])
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > diam/2 {
+		t.Errorf("an edge spans %v of the %v-diameter layout", worst, diam)
+	}
+}
+
+func TestSpectralCoordinatesEmpty(t *testing.T) {
+	coords, err := SpectralCoordinates(pathGraph(1), DrawOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 1 {
+		t.Errorf("%d coords", len(coords))
+	}
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+func TestGainBucketsBasics(t *testing.T) {
+	// Path 0-1-2-3 split [0,0,1,1]: gains are -1, 0, 0, -1.
+	g := pathGraph(4)
+	part := []int32{0, 0, 1, 1}
+	b := newGainBuckets(g, part)
+	if got := b.peekBest(0); got != 0 {
+		t.Errorf("side 0 best gain %d, want 0 (vertex 1)", got)
+	}
+	if got := b.peekBest(1); got != 0 {
+		t.Errorf("side 1 best gain %d, want 0 (vertex 2)", got)
+	}
+	v := b.popBest(0, func(int32) bool { return true })
+	if v != 1 {
+		t.Errorf("popped %d, want 1", v)
+	}
+	// After popping vertex 1, side 0's best is vertex 0 with gain -1.
+	if got := b.peekBest(0); got != -1 {
+		t.Errorf("side 0 best now %d, want -1", got)
+	}
+	// Gain update reinserts at the right bucket. Legal gains are bounded
+	// by the maximum weighted degree (2 on this path), which is the
+	// structure's documented contract.
+	b.updateGain(0, 2)
+	if got := b.peekBest(0); got != 2 {
+		t.Errorf("after update best %d, want 2", got)
+	}
+	// Removing a vertex empties its side eventually.
+	b.remove(0)
+	if got := b.popBest(0, func(int32) bool { return true }); got != -1 {
+		t.Errorf("side 0 should be empty, popped %d", got)
+	}
+}
+
+func TestPopBestRespectsFilter(t *testing.T) {
+	g := pathGraph(4)
+	part := []int32{0, 0, 1, 1}
+	b := newGainBuckets(g, part)
+	// Disallow vertex 1 (the best): pop must return vertex 0 instead.
+	v := b.popBest(0, func(u int32) bool { return u != 1 })
+	if v != 0 {
+		t.Errorf("popped %d, want 0", v)
+	}
+	// Vertex 1 stayed in its bucket.
+	if got := b.popBest(0, func(int32) bool { return true }); got != 1 {
+		t.Errorf("popped %d, want 1", got)
+	}
+}
+
+func TestFMMaxPassesBounds(t *testing.T) {
+	g := gridGraph(12, 12)
+	mk := func() []int32 {
+		p := make([]int32, g.N())
+		for i := range p {
+			p[i] = int32(i % 2)
+		}
+		return p
+	}
+	one := mk()
+	cut1 := RefineFM(g, one, FMOptions{MaxPasses: 1})
+	many := mk()
+	cutN := RefineFM(g, many, FMOptions{MaxPasses: 12})
+	if cutN > cut1 {
+		t.Errorf("more passes worsened the cut: %d vs %d", cutN, cut1)
+	}
+}
+
+func TestFMOnEdgelessGraph(t *testing.T) {
+	g := graph.MustFromEdges(4, nil)
+	part := []int32{0, 1, 0, 1}
+	if cut := RefineFM(g, part, FMOptions{}); cut != 0 {
+		t.Errorf("cut %d on edgeless graph", cut)
+	}
+}
+
+func TestCheckBisectionCustomTolerance(t *testing.T) {
+	g := pathGraph(5) // odd total
+	part := []int32{0, 0, 0, 1, 1}
+	if err := CheckBisection(g, part, 1); err != nil {
+		t.Errorf("|3-2|=1 should pass tol 1: %v", err)
+	}
+	part2 := []int32{0, 0, 0, 0, 1}
+	if err := CheckBisection(g, part2, 1); err == nil {
+		t.Error("|4-1|=3 passed tol 1")
+	}
+	if err := CheckBisection(g, part2, 3); err != nil {
+		t.Errorf("tol 3 should pass: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"sync/atomic"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// ParallelRefineOptions controls the parallel greedy boundary refinement.
+type ParallelRefineOptions struct {
+	// MaxRounds bounds the refinement rounds; zero means 2·8 = 16
+	// (alternating sides, eight sweeps each).
+	MaxRounds int
+	// Tol is the balance tolerance, as in FMOptions. Zero means the
+	// maximum vertex weight.
+	Tol int64
+	// TargetW0 is the desired side-0 weight (0 = half the total).
+	TargetW0 int64
+	// Workers is the parallelism degree (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RefineParallelGreedy improves a bisection with a fully parallel greedy
+// boundary refinement — the direction the paper leaves as future work
+// ("fully parallel partitioning with FM-based refinement"; this is the
+// Jostle/mt-Metis-style alternating one-sided scheme). Each round fixes a
+// source side and moves, in parallel, every source-side vertex whose gain
+// is positive, subject to an atomically reserved weight budget that keeps
+// the partition within tolerance.
+//
+// Moving several same-side vertices concurrently is safe: for any set S
+// moved together from one side, the true cut reduction is
+// Σ gain(v) + 2·w(edges inside S) ≥ Σ gain(v), so per-vertex positive
+// gains can only underestimate the improvement. The cut therefore
+// decreases monotonically round over round. Unlike sequential FM there is
+// no hill-climbing (no negative-gain moves), so it typically converges to
+// slightly worse cuts — the classic quality/parallelism trade.
+func RefineParallelGreedy(g *graph.Graph, part []int32, opt ParallelRefineOptions) int64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 16
+	}
+	tol := fmTol(g, opt.Tol)
+	target0 := opt.TargetW0
+	if target0 <= 0 {
+		target0 = g.TotalVertexWeight() / 2
+	}
+	p := opt.Workers
+
+	w := SideWeights(g, part)
+	bestCut := EdgeCut(g, part)
+	// slack lets a round overshoot the balance tolerance so large flows
+	// of zero/low-gain vertices can cross; it anneals to zero so the
+	// final rounds restore tolerance. The alternation pulls the weight
+	// back from the other side in between.
+	slack := g.TotalVertexWeight() / 8
+	badRounds := 0
+	for round := 0; round < maxRounds && badRounds < 2; round++ {
+		// Pick the source side: the overweight one, else alternate.
+		dev := 2 * (w[0] - target0)
+		src := int32(round % 2)
+		if dev > tol {
+			src = 0
+		} else if -dev > tol {
+			src = 1
+		}
+		// Weight budget: how much may leave src while staying within
+		// tolerance plus the current slack.
+		var budget int64
+		if src == 0 {
+			budget = (dev+tol)/2 + slack
+		} else {
+			budget = (tol-dev)/2 + slack
+		}
+		if round%2 == 1 && slack > 0 {
+			slack /= 2
+		}
+		if budget <= 0 {
+			badRounds++
+			continue
+		}
+		var reserved int64
+		var moved int64
+		par.ForEachChunked(n, p, 512, func(i int) {
+			u := int32(i)
+			if part[u] != src {
+				return
+			}
+			// Gain under the current (racy) snapshot; same-side
+			// concurrent moves only make the true gain larger, so
+			// gain >= 0 moves keep the cut monotone non-increasing.
+			adj, wgt := g.Neighbors(u)
+			var gain int64
+			boundary := false
+			for k, v := range adj {
+				if atomicLoad32(&part[v]) == src {
+					gain -= wgt[k]
+				} else {
+					gain += wgt[k]
+					boundary = true
+				}
+			}
+			if !boundary || gain < 0 {
+				return
+			}
+			vw := g.VertexWeight(u)
+			if atomic.AddInt64(&reserved, vw) > budget {
+				atomic.AddInt64(&reserved, -vw)
+				return
+			}
+			atomicStore32(&part[u], 1-src)
+			atomic.AddInt64(&moved, 1)
+		})
+		if moved == 0 {
+			badRounds++
+			continue
+		}
+		w = SideWeights(g, part)
+		if cut := EdgeCut(g, part); cut < bestCut {
+			bestCut = cut
+			badRounds = 0
+		} else {
+			badRounds++
+		}
+	}
+	// A final forced rebalance if the greedy rounds could not restore
+	// tolerance (possible when every boundary move has negative gain):
+	// fall back to one sequential FM pass, which handles forced moves.
+	if d := 2 * (w[0] - target0); d > tol || -d > tol {
+		return RefineFM(g, part, FMOptions{MaxPasses: 1, Tol: opt.Tol, TargetW0: opt.TargetW0})
+	}
+	return EdgeCut(g, part)
+}
+
+func atomicLoad32(p *int32) int32     { return atomic.LoadInt32(p) }
+func atomicStore32(p *int32, v int32) { atomic.StoreInt32(p, v) }

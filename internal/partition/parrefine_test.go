@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestParallelRefineNeverWorsens(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randGraph(400, seed)
+		part := make([]int32, g.N())
+		for i := range part {
+			part[i] = int32(i % 2)
+		}
+		before := EdgeCut(g, part)
+		after := RefineParallelGreedy(g, part, ParallelRefineOptions{Workers: 4})
+		if after > before {
+			t.Errorf("seed %d: parallel refine worsened %d -> %d", seed, before, after)
+		}
+		if after != EdgeCut(g, part) {
+			t.Errorf("seed %d: returned cut %d != actual %d", seed, after, EdgeCut(g, part))
+		}
+		if err := CheckBisection(g, part, 0); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestParallelRefineImprovesBadPartition(t *testing.T) {
+	g := gridGraph(20, 20)
+	part := make([]int32, g.N())
+	for i := range part {
+		part[i] = int32(i % 2)
+	}
+	before := EdgeCut(g, part)
+	after := RefineParallelGreedy(g, part, ParallelRefineOptions{Workers: 4})
+	if after >= before {
+		t.Errorf("no improvement: %d -> %d", before, after)
+	}
+}
+
+func TestParallelRefineRestoresBalance(t *testing.T) {
+	g := gridGraph(12, 12)
+	part := make([]int32, g.N()) // everything on side 0
+	RefineParallelGreedy(g, part, ParallelRefineOptions{Workers: 2})
+	if err := CheckBisection(g, part, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRefineTargeted(t *testing.T) {
+	g := gridGraph(12, 12) // weight 144
+	part := make([]int32, g.N())
+	for i := range part {
+		part[i] = int32(i % 2)
+	}
+	RefineParallelGreedy(g, part, ParallelRefineOptions{TargetW0: 48, Workers: 2})
+	w := SideWeights(g, part)
+	if d := w[0] - 48; d < -2 || d > 2 {
+		t.Errorf("side 0 weight %d, want ~48", w[0])
+	}
+}
+
+func TestFMBisectorParallelRefine(t *testing.T) {
+	g := gridGraph(24, 24)
+	b := NewHECFM(7, 2)
+	b.ParallelRefine = true
+	r, err := b.Bisect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBisection(g, r.Part, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Quality trade: the parallel refinement should still land within 2x
+	// of the sequential FM result on a grid.
+	seq, err := NewHECFM(7, 2).Bisect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r.Cut) > 2.5*float64(seq.Cut) {
+		t.Errorf("parallel refine cut %d vs sequential %d", r.Cut, seq.Cut)
+	}
+}

@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"sort"
+
+	"mlcg/internal/graph"
+)
+
+// VertexSeparator converts an edge-cut bisection into a vertex separator:
+// a set S of vertices whose removal disconnects the two sides. The
+// separator is built as a greedy minimum-weight vertex cover of the cut
+// edges (each cut edge must have an endpoint in S), preferring vertices
+// that cover many cut edges per unit of vertex weight — the standard
+// post-processing that turns partitioners into nested-dissection
+// orderings.
+func VertexSeparator(g *graph.Graph, part []int32) []int32 {
+	// Count, per boundary vertex, how many cut edges it touches.
+	cover := map[int32]int64{}
+	type cutEdge struct{ u, v int32 }
+	var cut []cutEdge
+	for u := int32(0); u < g.NumV; u++ {
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if u < v && part[u] != part[v] {
+				cut = append(cut, cutEdge{u, v})
+				cover[u]++
+				cover[v]++
+			}
+		}
+	}
+	if len(cut) == 0 {
+		return nil
+	}
+	// Greedy cover: repeatedly take the vertex covering the most
+	// still-uncovered edges per unit weight. Candidates sorted for
+	// determinism; counts updated lazily.
+	covered := make([]bool, len(cut))
+	inSep := map[int32]bool{}
+	remaining := len(cut)
+	// Edge index per vertex for the lazy updates.
+	edgesOf := map[int32][]int{}
+	for i, e := range cut {
+		edgesOf[e.u] = append(edgesOf[e.u], i)
+		edgesOf[e.v] = append(edgesOf[e.v], i)
+	}
+	// Deterministic candidate order, computed once.
+	cand := make([]int32, 0, len(cover))
+	for v := range cover {
+		cand = append(cand, v)
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	for remaining > 0 {
+		var best int32 = -1
+		var bestScore float64 = -1
+		for _, v := range cand {
+			if inSep[v] {
+				continue
+			}
+			var fresh int64
+			for _, i := range edgesOf[v] {
+				if !covered[i] {
+					fresh++
+				}
+			}
+			if fresh == 0 {
+				continue
+			}
+			score := float64(fresh) / float64(g.VertexWeight(v))
+			if score > bestScore || (score == bestScore && (best < 0 || v < best)) {
+				best, bestScore = v, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inSep[best] = true
+		for _, i := range edgesOf[best] {
+			if !covered[i] {
+				covered[i] = true
+				remaining--
+			}
+		}
+	}
+	out := make([]int32, 0, len(inSep))
+	for v := range inSep {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsVertexSeparator verifies that removing sep leaves no edge between the
+// two sides of part.
+func IsVertexSeparator(g *graph.Graph, part []int32, sep []int32) bool {
+	in := make(map[int32]bool, len(sep))
+	for _, v := range sep {
+		in[v] = true
+	}
+	for u := int32(0); u < g.NumV; u++ {
+		if in[u] {
+			continue
+		}
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if !in[v] && part[u] != part[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+func TestVertexSeparatorOnGrid(t *testing.T) {
+	g := gridGraph(10, 10)
+	res, err := NewHECFM(3, 1).Bisect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := VertexSeparator(g, res.Part)
+	if len(sep) == 0 {
+		t.Fatal("empty separator for a nonzero cut")
+	}
+	if !IsVertexSeparator(g, res.Part, sep) {
+		t.Fatal("separator does not separate")
+	}
+	// A 10x10 grid's straight cut of 10 edges is covered by 10 vertices
+	// (one per cut edge at most); greedy should not blow far past that.
+	if len(sep) > int(res.Cut) {
+		t.Errorf("separator size %d exceeds cut %d", len(sep), res.Cut)
+	}
+}
+
+func TestVertexSeparatorCoversBridge(t *testing.T) {
+	// Two cliques and one bridge: the separator is a single endpoint.
+	g := twoClusters(8)
+	res, err := NewHECFM(1, 1).Bisect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Skipf("bisection missed the bridge (cut %d)", res.Cut)
+	}
+	sep := VertexSeparator(g, res.Part)
+	if len(sep) != 1 {
+		t.Errorf("bridge separator has %d vertices", len(sep))
+	}
+	if !IsVertexSeparator(g, res.Part, sep) {
+		t.Error("not a separator")
+	}
+}
+
+func TestVertexSeparatorEmptyCut(t *testing.T) {
+	// Same side everywhere: no cut, empty separator.
+	g := gridGraph(4, 4)
+	part := make([]int32, g.N())
+	if sep := VertexSeparator(g, part); sep != nil {
+		t.Errorf("separator %v for zero cut", sep)
+	}
+	if !IsVertexSeparator(g, part, nil) {
+		t.Error("empty separator should verify for zero cut")
+	}
+}
+
+func TestVertexSeparatorStar(t *testing.T) {
+	// A star split leaf-side vs hub: the hub alone covers everything.
+	var e []graph.Edge
+	for i := int32(1); i < 9; i++ {
+		e = append(e, graph.Edge{U: 0, V: i, W: 1})
+	}
+	g := graph.MustFromEdges(9, e)
+	part := make([]int32, 9)
+	for i := 1; i <= 4; i++ {
+		part[i] = 1
+	}
+	sep := VertexSeparator(g, part)
+	if len(sep) != 1 || sep[0] != 0 {
+		t.Errorf("expected hub-only separator, got %v", sep)
+	}
+}

@@ -1,0 +1,253 @@
+package spmat
+
+import (
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// SpGEMM computes C = A·B with the two-phase scheme used by Kokkos
+// Kernels' kernel the paper calls: a symbolic pass sizes each output row
+// with a per-row hash set, then a numeric pass accumulates values with a
+// per-row hash map. Rows are processed in parallel with dynamic
+// scheduling; each worker reuses one scratch hash table across its rows.
+func SpGEMM(a, b *CSR, p int) *CSR {
+	if a.Cols != b.Rows {
+		panic("spmat: SpGEMM dimension mismatch")
+	}
+	n := int(a.Rows)
+	p = par.Workers(p, n)
+
+	// Symbolic phase: count distinct columns per output row.
+	counts := make([]int32, n)
+	par.ForChunked(n, p, 64, func(_, lo, hi int) {
+		ht := newHashSet(64)
+		for i := lo; i < hi; i++ {
+			ht.reset()
+			acols, _ := a.Row(int32(i))
+			for _, k := range acols {
+				bcols, _ := b.Row(k)
+				for _, c := range bcols {
+					ht.insert(c)
+				}
+			}
+			counts[i] = int32(ht.size)
+		}
+	})
+
+	rowptr := make([]int64, n+1)
+	nnz := par.PrefixSumInt32(rowptr, counts, p)
+	col := make([]int32, nnz)
+	val := make([]float64, nnz)
+
+	// Numeric phase: accumulate values per row and emit.
+	par.ForChunked(n, p, 64, func(_, lo, hi int) {
+		hm := newHashMap(64)
+		for i := lo; i < hi; i++ {
+			hm.reset()
+			acols, avals := a.Row(int32(i))
+			for j, k := range acols {
+				av := avals[j]
+				bcols, bvals := b.Row(k)
+				for t, c := range bcols {
+					hm.add(c, av*bvals[t])
+				}
+			}
+			pos := rowptr[i]
+			for s := 0; s < hm.cap; s++ {
+				if hm.keys[s] >= 0 {
+					col[pos] = hm.keys[s]
+					val[pos] = hm.vals[s]
+					pos++
+				}
+			}
+		}
+	})
+	return &CSR{Rows: a.Rows, Cols: b.Cols, Rowptr: rowptr, Col: col, Val: val}
+}
+
+// PAPt computes P·A·Pᵀ, the linear-algebra formulation of coarse graph
+// construction: P is the nc×n binary aggregation matrix with
+// P(M[u], u) = 1 (Section II of the paper).
+func PAPt(a *CSR, m []int32, nc int32, p int) *CSR {
+	pm := AggregationMatrix(m, nc, int(a.Rows))
+	pt := pm.Transpose(p)
+	apt := SpGEMM(a, pt, p)
+	return SpGEMM(pm, apt, p)
+}
+
+// AggregationMatrix builds the nc×n CSR matrix P with P(m[u], u) = 1.
+func AggregationMatrix(m []int32, nc int32, n int) *CSR {
+	counts := make([]int32, nc)
+	for _, a := range m {
+		counts[a]++
+	}
+	rowptr := make([]int64, nc+1)
+	par.PrefixSumInt32(rowptr, counts, 1)
+	col := make([]int32, n)
+	pos := make([]int64, nc)
+	copy(pos, rowptr[:nc])
+	for u := 0; u < n; u++ {
+		a := m[u]
+		col[pos[a]] = int32(u)
+		pos[a]++
+	}
+	val := make([]float64, n)
+	for i := range val {
+		val[i] = 1
+	}
+	return &CSR{Rows: nc, Cols: int32(n), Rowptr: rowptr, Col: col, Val: val}
+}
+
+// Laplacian returns the weighted graph Laplacian L = D − A of g. Each row
+// carries the diagonal entry first.
+func Laplacian(g *graph.Graph) *CSR {
+	n := g.N()
+	rowptr := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		rowptr[i+1] = rowptr[i] + (g.Xadj[i+1] - g.Xadj[i]) + 1
+	}
+	col := make([]int32, rowptr[n])
+	val := make([]float64, rowptr[n])
+	par.ForEachChunked(n, 0, 512, func(i int) {
+		u := int32(i)
+		adj, wgt := g.Neighbors(u)
+		pos := rowptr[i]
+		var deg float64
+		for k, v := range adj {
+			deg += float64(wgt[k])
+			col[pos+1+int64(k)] = v
+			val[pos+1+int64(k)] = -float64(wgt[k])
+		}
+		col[pos] = u
+		val[pos] = deg
+	})
+	return &CSR{Rows: int32(n), Cols: int32(n), Rowptr: rowptr, Col: col, Val: val}
+}
+
+// hashSet is an open-addressing set of int32 keys used by the symbolic
+// SpGEMM phase. Capacity is always a power of two.
+type hashSet struct {
+	keys []int32
+	cap  int
+	size int
+}
+
+func newHashSet(capacity int) *hashSet {
+	capacity = nextPow2(capacity)
+	h := &hashSet{keys: make([]int32, capacity), cap: capacity}
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	return h
+}
+
+func (h *hashSet) reset() {
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	h.size = 0
+}
+
+func (h *hashSet) insert(k int32) {
+	if h.size*2 >= h.cap {
+		h.grow()
+	}
+	mask := uint32(h.cap - 1)
+	s := (uint32(k) * 2654435761) & mask
+	for {
+		if h.keys[s] == k {
+			return
+		}
+		if h.keys[s] == -1 {
+			h.keys[s] = k
+			h.size++
+			return
+		}
+		s = (s + 1) & mask
+	}
+}
+
+func (h *hashSet) grow() {
+	old := h.keys
+	h.cap *= 2
+	h.keys = make([]int32, h.cap)
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	h.size = 0
+	for _, k := range old {
+		if k >= 0 {
+			h.insert(k)
+		}
+	}
+}
+
+// hashMap is an open-addressing int32→float64 accumulator used by the
+// numeric SpGEMM phase.
+type hashMap struct {
+	keys []int32
+	vals []float64
+	cap  int
+	size int
+}
+
+func newHashMap(capacity int) *hashMap {
+	capacity = nextPow2(capacity)
+	h := &hashMap{keys: make([]int32, capacity), vals: make([]float64, capacity), cap: capacity}
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	return h
+}
+
+func (h *hashMap) reset() {
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	h.size = 0
+}
+
+func (h *hashMap) add(k int32, v float64) {
+	if h.size*2 >= h.cap {
+		h.growMap()
+	}
+	mask := uint32(h.cap - 1)
+	s := (uint32(k) * 2654435761) & mask
+	for {
+		if h.keys[s] == k {
+			h.vals[s] += v
+			return
+		}
+		if h.keys[s] == -1 {
+			h.keys[s] = k
+			h.vals[s] = v
+			h.size++
+			return
+		}
+		s = (s + 1) & mask
+	}
+}
+
+func (h *hashMap) growMap() {
+	oldK, oldV := h.keys, h.vals
+	h.cap *= 2
+	h.keys = make([]int32, h.cap)
+	h.vals = make([]float64, h.cap)
+	for i := range h.keys {
+		h.keys[i] = -1
+	}
+	h.size = 0
+	for i, k := range oldK {
+		if k >= 0 {
+			h.add(k, oldV[i])
+		}
+	}
+}
+
+func nextPow2(x int) int {
+	p := 1
+	for p < x {
+		p *= 2
+	}
+	return p
+}
