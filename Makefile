@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench tables figures verify clean
+.PHONY: all build test race fuzz bench bench-construct tables figures verify clean
 
 all: build test
 
@@ -24,6 +24,13 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Isolated coarse-graph construction benchmark (the two-phase scatter /
+# workspace path). `-count=10` gives benchstat enough samples to compare
+# against a baseline checkout.
+bench-construct:
+	$(GO) test -run='^$$' -bench=BenchmarkBuildConstruct -benchmem -count=10 .
+	$(GO) run ./cmd/mlcg-tables -construct -runs 7
 
 # Regenerate the paper's tables and figures (writes to stdout).
 tables:

@@ -78,6 +78,47 @@ func BenchmarkTable2Construction(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildConstruct isolates a single coarse-graph construction per
+// builder on the two skewed representatives (kron21 is the RMAT analog,
+// ppa the BA analog) — the construction column of Tables II/III without
+// the mapping phase. The HEC mapping is precomputed once; builders that
+// support it reuse one workspace across iterations, exactly as
+// Coarsener.Run drives them, so the numbers reflect steady-state levels.
+func BenchmarkBuildConstruct(b *testing.B) {
+	for _, gname := range []string{"kron21", "ppa"} {
+		g := benchGraph(b, gname)
+		g.MaterializeVWgt()
+		m, err := coarsen.HEC{}.Map(g, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bname := range coarsen.BuilderNames() {
+			builder, err := coarsen.BuilderByName(bname)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(gname+"/"+bname, func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(g.Size())
+				if wb, ok := builder.(coarsen.WorkspaceBuilder); ok {
+					ws := coarsen.NewWorkspace()
+					for i := 0; i < b.N; i++ {
+						if _, err := wb.BuildWith(ws, g, m, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := builder.Build(g, m, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTable3HostConstruction is the Table III analog: the same
 // pipeline at reduced (host-role) parallelism.
 func BenchmarkTable3HostConstruction(b *testing.B) {

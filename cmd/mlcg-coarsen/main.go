@@ -40,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	saveHier := fs.String("savehier", "", "write the whole hierarchy (graphs + mappings) to this file")
 	quality := fs.Bool("quality", false, "print a per-level mapping quality report")
 	verify := fs.Bool("verify", false, "validate every coarse graph and (for strict schemes) aggregate connectivity")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the coarsening run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,8 +63,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(err)
+	}
 	c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
 	h, err := c.Run(g)
+	if perr := stopProfiles(); perr != nil {
+		return fail(perr)
+	}
 	if err != nil {
 		return fail(err)
 	}

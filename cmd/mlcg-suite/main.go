@@ -30,6 +30,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "metis", "output format: "+cli.Formats())
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	seed := fs.Uint64("seed", 20210517, "generation seed")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of suite generation to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -38,19 +40,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mlcg-suite:", err)
 		return 1
 	}
-	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[*format]
-	if ext == "" {
-		return fail(fmt.Errorf("unknown format %q (want %s)", *format, cli.Formats()))
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(err)
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
+	// main exits via os.Exit, which skips defers — finish the profiles
+	// explicitly rather than deferring.
+	code := export(*dir, *format, *scale, *seed, stdout, fail)
+	if perr := stopProfiles(); perr != nil && code == 0 {
+		return fail(perr)
+	}
+	return code
+}
+
+func export(dir, format string, scale int, seed uint64, stdout io.Writer, fail func(error) int) int {
+	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[format]
+	if ext == "" {
+		return fail(fmt.Errorf("unknown format %q (want %s)", format, cli.Formats()))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fail(err)
 	}
 
-	suite := gen.Suite(gen.SuiteOptions{Scale: *scale, Seed: *seed})
+	suite := gen.Suite(gen.SuiteOptions{Scale: scale, Seed: seed})
 	fmt.Fprintf(stdout, "%-14s %-6s %10s %10s %10s  %s\n", "Graph", "Group", "n", "m", "skew", "file")
 	for _, inst := range suite {
-		path := filepath.Join(*dir, inst.Name+ext)
-		if err := cli.WriteGraph(inst.Graph, path, *format); err != nil {
+		path := filepath.Join(dir, inst.Name+ext)
+		if err := cli.WriteGraph(inst.Graph, path, format); err != nil {
 			return fail(err)
 		}
 		group := "regular"

@@ -32,6 +32,7 @@ func run(args []string, w, stderr io.Writer) int {
 	variants := fs.Bool("hecvariants", false, "run the HEC/HEC2/HEC3 comparison (Section IV.A)")
 	ablation := fs.Bool("dedup-ablation", false, "run the one-sided dedup ablation")
 	shootout := fs.Bool("builders", false, "run the all-builders construction shootout")
+	construct := fs.Bool("construct", false, "run the isolated construction benchmark (workspace reuse study)")
 	goshhec := fs.Bool("goshhec", false, "run the GOSH vs GOSH/HEC hybrid study")
 	premise := fs.Bool("premise", false, "run the multilevel-vs-flat FM premise study")
 	skew := fs.Bool("skew", false, "run the degree-skew sweep (configuration model)")
@@ -146,6 +147,15 @@ func run(args []string, w, stderr io.Writer) int {
 	if *shootout {
 		did = true
 		bench.FormatShootout(w, bench.BuilderShootout(opt))
+	}
+	if *construct {
+		did = true
+		rows := bench.ConstructBench(opt)
+		if *asJSON {
+			emitJSON("construct", rows)
+		} else {
+			bench.FormatConstructBench(w, rows)
+		}
 	}
 	if *goshhec {
 		did = true

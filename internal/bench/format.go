@@ -255,6 +255,20 @@ func FormatShootout(w io.Writer, rows []BuilderShootoutRow) {
 	emit(true, "skewed")
 }
 
+// FormatConstructBench prints the isolated construction benchmark with the
+// workspace-reuse ratio.
+func FormatConstructBench(w io.Writer, rows []ConstructBenchRow) {
+	fmt.Fprintf(w, "Isolated construction (one level, HEC mapping precomputed)\n")
+	fmt.Fprintf(w, "%-14s %-12s %12s %12s %8s\n", "Graph", "Builder", "fresh(ms)", "reused(ms)", "reuse x")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-12s %12.3f %12.3f %8.2f\n",
+			r.Graph, r.Builder,
+			float64(r.TFresh.Microseconds())/1000,
+			float64(r.TReused.Microseconds())/1000,
+			r.Reuse)
+	}
+}
+
 // FormatSkewSweep prints the degree-skew sweep.
 func FormatSkewSweep(w io.Writer, rows []SkewRow) {
 	fmt.Fprintf(w, "Degree-skew sweep (configuration model, equal n): coarsening vs tail exponent\n")

@@ -426,6 +426,76 @@ func BuilderShootout(opt Options) []BuilderShootoutRow {
 	return rows
 }
 
+// ConstructBenchRow reports one builder on one graph: a single isolated
+// construction level (HEC mapping precomputed and excluded) with a fresh
+// workspace per run versus one workspace reused across runs. The reuse
+// ratio is the steady-state payoff of the level arena in Coarsener.Run.
+type ConstructBenchRow struct {
+	Graph   string
+	Skewed  bool
+	Builder string
+	// TFresh/TReused are median times for one Build with a fresh versus a
+	// reused Workspace. For builders without workspace support both report
+	// the plain Build path.
+	TFresh  time.Duration
+	TReused time.Duration
+	// Reuse = TFresh / TReused.
+	Reuse float64
+}
+
+// ConstructBench isolates coarse-graph construction per builder — the
+// construction column of Tables II/III — and quantifies the two-phase
+// scatter workspace reuse. Runs on the skewed representatives by default;
+// restrict or extend with Options.Only.
+func ConstructBench(opt Options) []ConstructBenchRow {
+	runs := opt.runs()
+	workers := opt.workers()
+	sel := opt
+	if len(sel.Only) == 0 {
+		sel.Only = []string{"kron21", "ppa"}
+	}
+	var rows []ConstructBenchRow
+	for _, inst := range sel.Suite() {
+		g := inst.Graph
+		g.MaterializeVWgt()
+		m, err := coarsen.HEC{}.Map(g, sel.seed(), workers)
+		if err != nil {
+			panic(err)
+		}
+		for _, name := range coarsen.BuilderNames() {
+			b, err := coarsen.BuilderByName(name)
+			if err != nil {
+				panic(err)
+			}
+			row := ConstructBenchRow{Graph: inst.Name, Skewed: inst.Skewed, Builder: name}
+			row.TFresh = medianDuration(runs, func() {
+				if _, err := b.Build(g, m, workers); err != nil {
+					panic(err)
+				}
+			})
+			if wb, ok := b.(coarsen.WorkspaceBuilder); ok {
+				ws := coarsen.NewWorkspace()
+				// Warm the arena outside the measurement.
+				if _, err := wb.BuildWith(ws, g, m, workers); err != nil {
+					panic(err)
+				}
+				row.TReused = medianDuration(runs, func() {
+					if _, err := wb.BuildWith(ws, g, m, workers); err != nil {
+						panic(err)
+					}
+				})
+			} else {
+				row.TReused = row.TFresh
+			}
+			if row.TReused > 0 {
+				row.Reuse = float64(row.TFresh) / float64(row.TReused)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
 // ratio64 returns a/b as float, 0 when either input is non-positive
 // (degenerate cuts are excluded from geometric means like the paper's OOM
 // entries).

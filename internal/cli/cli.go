@@ -5,6 +5,8 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mlcg/internal/gen"
@@ -59,6 +61,45 @@ func LoadOrGenerate(path, format, genName string, seed uint64) (*graph.Graph, er
 		return nil, fmt.Errorf("need -in FILE or -gen NAME (one of %s)", Generators())
 	}
 	return nil, fmt.Errorf("unknown generator %q (want %s)", genName, Generators())
+}
+
+// StartProfiles starts pprof collection for the -cpuprofile/-memprofile
+// flags shared by the commands. Either path may be empty to skip that
+// profile. The returned stop function must be called exactly once, after
+// the work being measured: it finishes the CPU profile and snapshots the
+// heap profile.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // WriteGraph writes g to path in the given format.

@@ -2,7 +2,6 @@ package coarsen
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
@@ -37,6 +36,11 @@ const (
 // edge only at the endpoint with the smaller estimated coarse degree,
 // halving (often much more than halving, on hub-heavy bins) the sort work;
 // a transpose pass then restores symmetry.
+//
+// All phases use the contention-free two-phase scatter (per-worker
+// histogram + merged prefix offsets), so construction never contends on
+// shared counters and the output CSR is byte-identical for every worker
+// count.
 type BuildSort struct {
 	// SkewThreshold overrides DefaultSkewThreshold; negative disables the
 	// one-sided optimization entirely, zero means the default.
@@ -57,10 +61,15 @@ func (BuildSort) Name() string { return "sort" }
 
 // Build implements Builder.
 func (b BuildSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (b BuildSort) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	if b.PreDedup {
-		return buildVertexCentricPre(g, m, p, b.mode(g), dedupSortSegments)
+		return buildVertexCentricPre(ws, g, m, p, b.mode(g), dedupSortSegments)
 	}
-	return buildVertexCentric(g, m, p, b.mode(g), dedupSortSegments)
+	return buildVertexCentric(ws, g, m, p, b.mode(g), dedupSortSegments)
 }
 
 func (b BuildSort) mode(g *graph.Graph) sideMode {
@@ -94,42 +103,96 @@ func (BuildHash) Name() string { return "hash" }
 
 // Build implements Builder.
 func (b BuildHash) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (b BuildHash) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
-	return buildVertexCentric(g, m, p, mode, dedupHashSegments)
+	return buildVertexCentric(ws, g, m, p, mode, dedupHashSegments)
 }
 
 // dedupFunc deduplicates every coarse vertex's segment in place: for each
 // vertex a, entries [r[a], r[a]+cnt[a]) of f/x are rewritten so the first
-// newCnt[a] entries hold distinct neighbor ids with summed weights.
-type dedupFunc func(f []int32, x []int64, r []int64, cnt []int32, p int) (newCnt []int32)
+// newCnt[a] entries hold distinct neighbor ids with summed weights. The
+// returned slice is scratch owned by ws. Implementations must write
+// newCnt[a] for every a (including empty segments) and must be
+// deterministic functions of the segment contents alone, so the final CSR
+// stays byte-identical across worker counts.
+type dedupFunc func(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32
 
-// buildVertexCentric is the shared six-step skeleton of Algorithm 6.
-func buildVertexCentric(g *graph.Graph, m *Mapping, p int, mode sideMode, dedup dedupFunc) (*graph.Graph, error) {
+// aggregateVertexWeights sums fine vertex weights per aggregate without
+// contention-free: per-worker partial arrays over the fixed ranges, then a
+// bin-parallel reduction. The int64 sums are exact, so the result is
+// independent of the worker count.
+func aggregateVertexWeights(ws *Workspace, g *graph.Graph, mv []int32, nc, p int, bounds []int) []int64 {
+	vwgt := make([]int64, nc)
+	if p == 1 {
+		for i := range mv {
+			vwgt[mv[i]] += g.VertexWeight(int32(i))
+		}
+		return vwgt
+	}
+	parts := ws.weightPartials(p, nc)
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		pw := parts[w]
+		for i := lo; i < hi; i++ {
+			pw[mv[i]] += g.VertexWeight(int32(i))
+		}
+	})
+	par.ForChunked(nc, p, 2048, func(_, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			var s int64
+			for w := 0; w < p; w++ {
+				s += parts[w][a]
+			}
+			vwgt[a] = s
+		}
+	})
+	return vwgt
+}
+
+// buildVertexCentric is the shared skeleton of Algorithm 6, restructured
+// as a contention-free two-phase scatter. Workers own contiguous
+// edge-balanced vertex ranges; each pass counts bin contributions into a
+// private histogram, par.MergeHistograms converts the counts into exact
+// per-worker write offsets, and the scatter pass writes every (f, x)
+// entry to its precomputed slot without contended writes. Because the ranges are
+// ordered, bin contents come out in fine-vertex order regardless of the
+// worker count — the basis of the byte-identical determinism guarantee.
+func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode sideMode, dedup dedupFunc) (*graph.Graph, error) {
 	n := g.N()
 	if err := m.Validate(n); err != nil {
 		return nil, err
 	}
 	nc := int(m.NC)
 	mv := m.M
+	p = par.Workers(p, n)
+
+	ws.bounds = par.BalancedRanges(ws.bounds, g.Xadj, p)
+	bounds := ws.bounds
 
 	// Aggregate vertex weights.
-	vwgt := make([]int64, nc)
-	par.ForEachChunked(n, p, 1024, func(i int) {
-		atomic.AddInt64(&vwgt[mv[i]], g.VertexWeight(int32(i)))
-	})
+	vwgt := aggregateVertexWeights(ws, g, mv, nc, p, bounds)
 
-	// Step 1: upper-bound coarse degrees C' (both-sided counts).
-	cEst := make([]int32, nc)
-	par.ForEachChunked(n, p, 256, func(i int) {
-		u := int32(i)
-		a := mv[u]
-		adj, _ := g.Neighbors(u)
-		for _, v := range adj {
-			if mv[v] != a {
-				atomic.AddInt32(&cEst[a], 1)
+	// Step 1: upper-bound coarse degrees C' (both-sided counts) via
+	// per-worker histograms.
+	hists := ws.histograms(p, nc)
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			a := mv[u]
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if mv[v] != a {
+					h[a]++
+				}
 			}
 		}
 	})
+	cEst := growI32(&ws.cEst, nc)
+	par.MergeHistograms(hists, cEst, p)
 
 	oneSided := mode == sideOne
 	// writeHere reports whether the directed fine edge (u, v) is placed in
@@ -146,55 +209,64 @@ func buildVertexCentric(g *graph.Graph, m *Mapping, p int, mode sideMode, dedup 
 		return u < v
 	}
 
-	// Step 2: exact bin sizes C.
-	var cnt []int32
+	// Step 2: exact bin sizes C. In both-sided mode the step-1 histograms
+	// already hold the per-worker write offsets after MergeHistograms; in
+	// one-sided mode recount with the one-sided filter.
+	cnt := cEst
 	if oneSided {
-		cnt = make([]int32, nc)
-		par.ForEachChunked(n, p, 256, func(i int) {
-			u := int32(i)
-			a := mv[u]
-			adj, _ := g.Neighbors(u)
-			for _, v := range adj {
-				bb := mv[v]
-				if bb != a && writeHere(u, v, a, bb) {
-					atomic.AddInt32(&cnt[a], 1)
+		hists = ws.histograms(p, nc)
+		par.ForRanges(bounds, func(w, lo, hi int) {
+			h := hists[w]
+			for i := lo; i < hi; i++ {
+				u := int32(i)
+				a := mv[u]
+				adj, _ := g.Neighbors(u)
+				for _, v := range adj {
+					bb := mv[v]
+					if bb != a && writeHere(u, v, a, bb) {
+						h[a]++
+					}
 				}
 			}
 		})
-	} else {
-		cnt = cEst
+		cnt = growI32(&ws.cnt, nc)
+		par.MergeHistograms(hists, cnt, p)
 	}
 
 	// Step 3: offsets.
-	r := make([]int64, nc+1)
+	r := growI64(&ws.r, nc+1)
 	total := par.PrefixSumInt32(r, cnt, p)
 
-	// Step 4: scatter adjacencies and weights into the bins.
-	f := make([]int32, total)
-	x := make([]int64, total)
-	pos := make([]int32, nc)
-	par.ForEachChunked(n, p, 256, func(i int) {
-		u := int32(i)
-		a := mv[u]
-		adj, wgt := g.Neighbors(u)
-		for k, v := range adj {
-			bb := mv[v]
-			if bb == a || !writeHere(u, v, a, bb) {
-				continue
+	// Step 4: scatter adjacencies and weights into precomputed windows —
+	// worker w owns [r[a]+hists[w][a], ...) of bin a.
+	f := growI32(&ws.binF, int(total))
+	x := growI64(&ws.binX, int(total))
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
+		for i := lo; i < hi; i++ {
+			u := int32(i)
+			a := mv[u]
+			adj, wgt := g.Neighbors(u)
+			for k, v := range adj {
+				bb := mv[v]
+				if bb == a || !writeHere(u, v, a, bb) {
+					continue
+				}
+				l := r[a] + int64(h[a])
+				h[a]++
+				f[l] = bb
+				x[l] = wgt[k]
 			}
-			l := r[a] + int64(atomic.AddInt32(&pos[a], 1)-1)
-			f[l] = bb
-			x[l] = wgt[k]
 		}
 	})
 
 	// Step 5: per-vertex deduplication.
-	newCnt := dedup(f, x, r, cnt, p)
+	newCnt := dedup(ws, f, x, r, cnt, p)
 
 	// Step 6: final CSR, with the transpose merge in one-sided mode.
 	var cg *graph.Graph
 	if oneSided {
-		cg = symmetrizeDeduped(f, x, r, newCnt, nc, p, dedup)
+		cg = symmetrizeDeduped(ws, f, x, r, newCnt, nc, p, dedup)
 	} else {
 		cg = compactDeduped(f, x, r, newCnt, nc, p)
 	}
@@ -225,75 +297,105 @@ func compactDeduped(f []int32, x []int64, r []int64, newCnt []int32, nc, p int) 
 // the one-sided dedup'd lists contain each coarse edge in at least one
 // direction with possibly split weights; emit both directions of every
 // entry, then dedup once more (segments are now at most twice the final
-// degree) and compact.
-func symmetrizeDeduped(f []int32, x []int64, r []int64, newCnt []int32, nc, p int, dedup dedupFunc) *graph.Graph {
-	cnt2 := make([]int32, nc)
-	par.ForEachChunked(nc, p, 256, func(a int) {
-		atomic.AddInt32(&cnt2[a], newCnt[a])
-		for k := int64(0); k < int64(newCnt[a]); k++ {
-			atomic.AddInt32(&cnt2[f[r[a]+k]], 1)
+// degree) and compact. The transpose scatter uses the same two-phase
+// histogram scheme as the binning passes: workers own contiguous ranges of
+// source bins (balanced by the pre-dedup bin mass in r), so the merged
+// bins come out ordered by source bin — again byte-identical across
+// worker counts, without contended writes.
+func symmetrizeDeduped(ws *Workspace, f []int32, x []int64, r []int64, newCnt []int32, nc, p int, dedup dedupFunc) *graph.Graph {
+	p = par.Workers(p, nc)
+	ws.bounds2 = par.BalancedRanges(ws.bounds2, r, p)
+	bounds := ws.bounds2
+
+	hists := ws.histograms(p, nc)
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
+		for a := lo; a < hi; a++ {
+			base := r[a]
+			h[a] += newCnt[a]
+			for k := int64(0); k < int64(newCnt[a]); k++ {
+				h[f[base+k]]++
+			}
 		}
 	})
-	r2 := make([]int64, nc+1)
+	cnt2 := growI32(&ws.cnt2, nc)
+	par.MergeHistograms(hists, cnt2, p)
+	r2 := growI64(&ws.r2, nc+1)
 	total := par.PrefixSumInt32(r2, cnt2, p)
-	f2 := make([]int32, total)
-	x2 := make([]int64, total)
-	pos := make([]int32, nc)
-	par.ForEachChunked(nc, p, 256, func(a int) {
-		for k := int64(0); k < int64(newCnt[a]); k++ {
-			b := f[r[a]+k]
-			w := x[r[a]+k]
-			la := r2[a] + int64(atomic.AddInt32(&pos[a], 1)-1)
-			f2[la] = b
-			x2[la] = w
-			lb := r2[b] + int64(atomic.AddInt32(&pos[b], 1)-1)
-			f2[lb] = int32(a)
-			x2[lb] = w
+
+	f2 := growI32(&ws.symF, int(total))
+	x2 := growI64(&ws.symX, int(total))
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
+		for a := lo; a < hi; a++ {
+			base := r[a]
+			for k := int64(0); k < int64(newCnt[a]); k++ {
+				b := f[base+k]
+				wv := x[base+k]
+				la := r2[a] + int64(h[a])
+				h[a]++
+				f2[la] = b
+				x2[la] = wv
+				lb := r2[b] + int64(h[b])
+				h[b]++
+				f2[lb] = int32(a)
+				x2[lb] = wv
+			}
 		}
 	})
-	newCnt2 := dedup(f2, x2, r2, cnt2, p)
+	newCnt2 := dedup(ws, f2, x2, r2, cnt2, p)
 	return compactDeduped(f2, x2, r2, newCnt2, nc, p)
 }
 
 // dedupSortSegments sorts each segment by neighbor id and merges equal
 // keys by summing weights (the bitonic/radix team sort of the paper,
 // realized as insertion sort for short lists and LSD radix above).
-func dedupSortSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+func dedupSortSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
 	nc := len(cnt)
-	newCnt := make([]int32, nc)
-	par.ForEachChunked(nc, p, 64, func(a int) {
-		lo := r[a]
-		hi := lo + int64(cnt[a])
-		seg := f[lo:hi]
-		wseg := x[lo:hi]
-		par.SortPairsInt32(seg, wseg)
-		var w int32 // write cursor
-		for i := 0; i < len(seg); i++ {
-			if w > 0 && seg[w-1] == seg[i] {
-				wseg[w-1] += wseg[i]
-			} else {
-				seg[w] = seg[i]
-				wseg[w] = wseg[i]
-				w++
+	newCnt := growI32(&ws.newCnt, nc)
+	p = par.Workers(p, nc)
+	scratch := ws.sortScratchFor(p)
+	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
+		sc := scratch[wid]
+		for a := aLo; a < aHi; a++ {
+			lo := r[a]
+			hi := lo + int64(cnt[a])
+			seg := f[lo:hi]
+			wseg := x[lo:hi]
+			par.SortPairsInt32Scratch(seg, wseg, sc)
+			var w int32 // write cursor
+			for i := 0; i < len(seg); i++ {
+				if w > 0 && seg[w-1] == seg[i] {
+					wseg[w-1] += wseg[i]
+				} else {
+					seg[w] = seg[i]
+					wseg[w] = wseg[i]
+					w++
+				}
 			}
+			newCnt[a] = w
 		}
-		newCnt[a] = w
 	})
 	return newCnt
 }
 
 // dedupHashSegments deduplicates each segment with a per-worker open
 // addressing accumulator, then writes the distinct pairs back to the
-// segment prefix (unsorted).
-func dedupHashSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+// segment prefix (unsorted). The table's logical capacity is a function
+// of the segment size alone, so the slot layout — and therefore the
+// unsorted output order — is deterministic for any worker count.
+func dedupHashSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
 	nc := len(cnt)
-	newCnt := make([]int32, nc)
-	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
-		ht := newWeightTable(64)
+	newCnt := growI32(&ws.newCnt, nc)
+	p = par.Workers(p, nc)
+	tables := ws.tablesFor(p)
+	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
+		ht := tables[wid]
 		for a := aLo; a < aHi; a++ {
 			lo := r[a]
 			hi := lo + int64(cnt[a])
 			if lo == hi {
+				newCnt[a] = 0
 				continue
 			}
 			ht.reset(int(hi - lo))
@@ -302,7 +404,7 @@ func dedupHashSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []in
 			}
 			w := lo
 			for s := 0; s < ht.cap; s++ {
-				if ht.keys[s] != unset {
+				if ht.occupied(s) {
 					f[w] = ht.keys[s]
 					x[w] = ht.vals[s]
 					w++
@@ -315,54 +417,59 @@ func dedupHashSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []in
 }
 
 // weightTable is an int32 -> int64 open-addressing accumulator sized to
-// the current segment.
+// the current segment. Slots are validated by an epoch stamp, so reset is
+// O(1) instead of O(capacity): bumping the epoch invalidates every slot at
+// once. The logical capacity (cap) is always the smallest power of two
+// holding twice the segment, a pure function of the segment size, which
+// keeps the probe sequence — and therefore the unsorted dedup output —
+// independent of what the table processed before.
 type weightTable struct {
-	keys []int32
-	vals []int64
-	cap  int
+	keys  []int32
+	vals  []int64
+	stamp []uint64
+	epoch uint64
+	cap   int // logical capacity for the current segment (power of two)
 }
 
 func newWeightTable(capacity int) *weightTable {
 	t := &weightTable{}
-	t.grow(capacity)
+	t.reset(capacity)
 	return t
 }
 
-func (t *weightTable) grow(capacity int) {
+// reset prepares the table for a segment of the given size in O(1),
+// growing the backing arrays only when the logical capacity exceeds them.
+func (t *weightTable) reset(size int) {
 	c := 16
-	for c < 2*capacity {
+	for c < 2*size {
 		c *= 2
 	}
 	t.cap = c
-	t.keys = make([]int32, c)
-	t.vals = make([]int64, c)
-	for i := range t.keys {
-		t.keys[i] = unset
+	if c > len(t.keys) {
+		t.keys = make([]int32, c)
+		t.vals = make([]int64, c)
+		t.stamp = make([]uint64, c)
+		t.epoch = 0
 	}
+	t.epoch++
 }
 
-// reset prepares the table for a segment of the given size.
-func (t *weightTable) reset(size int) {
-	if 2*size > t.cap {
-		t.grow(size)
-		return
-	}
-	for i := range t.keys {
-		t.keys[i] = unset
-	}
-}
+// occupied reports whether slot s holds a live entry for the current
+// segment.
+func (t *weightTable) occupied(s int) bool { return t.stamp[s] == t.epoch }
 
 func (t *weightTable) add(k int32, v int64) {
 	mask := uint32(t.cap - 1)
 	s := (uint32(k) * 2654435761) & mask
 	for {
-		if t.keys[s] == k {
-			t.vals[s] += v
-			return
-		}
-		if t.keys[s] == unset {
+		if t.stamp[s] != t.epoch {
+			t.stamp[s] = t.epoch
 			t.keys[s] = k
 			t.vals[s] = v
+			return
+		}
+		if t.keys[s] == k {
+			t.vals[s] += v
 			return
 		}
 		s = (s + 1) & mask

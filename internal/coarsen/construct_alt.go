@@ -2,7 +2,6 @@ package coarsen
 
 import (
 	"math"
-	"sync/atomic"
 
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
@@ -19,19 +18,26 @@ type BuildSpGEMM struct{}
 func (BuildSpGEMM) Name() string { return "spgemm" }
 
 // Build implements Builder.
-func (BuildSpGEMM) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+func (b BuildSpGEMM) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder. The SpGEMM kernel manages its own
+// scratch; the workspace covers the vertex-weight aggregation.
+func (BuildSpGEMM) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	n := g.N()
 	if err := m.Validate(n); err != nil {
 		return nil, err
 	}
 	nc := int(m.NC)
+	p = par.Workers(p, n)
 	a := spmat.FromGraph(g)
 	ac := spmat.PAPt(a, m.M, m.NC, p)
 
 	// Strip the diagonal and convert float accumulators back to the exact
 	// integer weights (sums of int64 inputs are exactly representable for
 	// any realistic weight range).
-	cnt := make([]int32, nc)
+	cnt := growI32(&ws.cnt, nc)
 	par.ForEachChunked(nc, p, 256, func(i int) {
 		cols, _ := ac.Row(int32(i))
 		var c int32
@@ -58,10 +64,8 @@ func (BuildSpGEMM) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error
 			pos++
 		}
 	})
-	vwgt := make([]int64, nc)
-	par.ForEachChunked(n, p, 1024, func(i int) {
-		atomic.AddInt64(&vwgt[m.M[i]], g.VertexWeight(int32(i)))
-	})
+	ws.bounds = par.BalancedRanges(ws.bounds, g.Xadj, p)
+	vwgt := aggregateVertexWeights(ws, g, m.M, nc, p, ws.bounds)
 	return &graph.Graph{NumV: int32(nc), Xadj: xadj, Adj: adj, Wgt: wgt, VWgt: vwgt}, nil
 }
 
@@ -77,21 +81,27 @@ type BuildGlobalSort struct{}
 func (BuildGlobalSort) Name() string { return "globalsort" }
 
 // Build implements Builder.
-func (BuildGlobalSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+func (b BuildGlobalSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (BuildGlobalSort) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	n := g.N()
 	if err := m.Validate(n); err != nil {
 		return nil, err
 	}
 	nc := int(m.NC)
 	mv := m.M
+	p = par.Workers(p, n)
 
-	// Count cross-aggregate directed edges.
-	perVertex := make([]int64, n)
+	// Count cross-aggregate directed edges per vertex.
+	perVertex := growI32(&ws.cEst, n)
 	par.ForEachChunked(n, p, 256, func(i int) {
 		u := int32(i)
 		a := mv[u]
 		adj, _ := g.Neighbors(u)
-		var c int64
+		var c int32
 		for _, v := range adj {
 			if mv[v] != a {
 				c++
@@ -99,11 +109,11 @@ func (BuildGlobalSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, e
 		}
 		perVertex[i] = c
 	})
-	offs := make([]int64, n+1)
-	total := par.PrefixSumInt64(offs, perVertex, p)
+	offs := growI64(&ws.offs, n+1)
+	total := par.PrefixSumInt32(offs, perVertex, p)
 
-	keys := make([]uint64, total)
-	vals := make([]uint64, total)
+	keys := growU64(&ws.keys64, int(total))
+	vals := growU64(&ws.vals64, int(total))
 	par.ForEachChunked(n, p, 256, func(i int) {
 		u := int32(i)
 		a := mv[u]
@@ -146,9 +156,7 @@ func (BuildGlobalSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, e
 	for i := 0; i < nc; i++ {
 		xadj[i+1] += xadj[i]
 	}
-	vwgt := make([]int64, nc)
-	par.ForEachChunked(n, p, 1024, func(i int) {
-		atomic.AddInt64(&vwgt[mv[i]], g.VertexWeight(int32(i)))
-	})
+	ws.bounds = par.BalancedRanges(ws.bounds, g.Xadj, p)
+	vwgt := aggregateVertexWeights(ws, g, mv, nc, p, ws.bounds)
 	return &graph.Graph{NumV: int32(nc), Xadj: xadj, Adj: adj, Wgt: wgt, VWgt: vwgt}, nil
 }

@@ -24,8 +24,13 @@ func (BuildHeap) Name() string { return "heap" }
 
 // Build implements Builder.
 func (b BuildHeap) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (b BuildHeap) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
-	return buildVertexCentric(g, m, p, mode, dedupHeapSegments)
+	return buildVertexCentric(ws, g, m, p, mode, dedupHeapSegments)
 }
 
 // pairHeap is a binary min-heap over (key, weight) pairs ordered by key.
@@ -49,20 +54,28 @@ func (h *pairHeap) Pop() interface{} {
 }
 
 // dedupHeapSegments deduplicates every segment by heapifying it in place
-// and draining in key order into a scratch buffer, merging duplicates.
-func dedupHeapSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+// and draining in key order into a per-worker scratch buffer, merging
+// duplicates.
+func dedupHeapSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
 	nc := len(cnt)
-	newCnt := make([]int32, nc)
-	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
-		var outK []int32
-		var outW []int64
+	newCnt := growI32(&ws.newCnt, nc)
+	p = par.Workers(p, nc)
+	keyBufs, wgtBufs := ws.pairBufsFor(p)
+	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
+		outK := keyBufs[wid]
+		outW := wgtBufs[wid]
+		// One heap header per chunk, re-pointed at each segment, so the
+		// interface conversion for heap.Init does not allocate per bin.
+		ph := &pairHeap{}
 		for a := aLo; a < aHi; a++ {
 			lo := r[a]
 			n := int(cnt[a])
 			if n == 0 {
+				newCnt[a] = 0
 				continue
 			}
-			ph := &pairHeap{keys: f[lo : lo+int64(n)], wgts: x[lo : lo+int64(n)]}
+			ph.keys = f[lo : lo+int64(n)]
+			ph.wgts = x[lo : lo+int64(n)]
 			heap.Init(ph)
 			outK = outK[:0]
 			outW = outW[:0]
@@ -88,6 +101,8 @@ func dedupHeapSegments(f []int32, x []int64, r []int64, cnt []int32, p int) []in
 			copy(x[lo:], outW)
 			newCnt[a] = int32(len(outK))
 		}
+		keyBufs[wid] = outK
+		wgtBufs[wid] = outW
 	})
 	return newCnt
 }
@@ -110,33 +125,43 @@ func (BuildHybrid) Name() string { return "hybrid" }
 
 // Build implements Builder.
 func (b BuildHybrid) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (b BuildHybrid) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
 	cutover := b.SortBelow
 	if cutover <= 0 {
 		cutover = 128
 	}
-	dedup := func(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
-		return dedupHybridSegments(f, x, r, cnt, p, cutover)
+	dedup := func(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+		return dedupHybridSegments(ws, f, x, r, cnt, p, cutover)
 	}
-	return buildVertexCentric(g, m, p, mode, dedup)
+	return buildVertexCentric(ws, g, m, p, mode, dedup)
 }
 
 // dedupHybridSegments picks sort or hash per segment by length.
-func dedupHybridSegments(f []int32, x []int64, r []int64, cnt []int32, p, cutover int) []int32 {
+func dedupHybridSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p, cutover int) []int32 {
 	nc := len(cnt)
-	newCnt := make([]int32, nc)
-	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
-		var ht *weightTable
+	newCnt := growI32(&ws.newCnt, nc)
+	p = par.Workers(p, nc)
+	tables := ws.tablesFor(p)
+	scratch := ws.sortScratchFor(p)
+	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
+		ht := tables[wid]
+		sc := scratch[wid]
 		for a := aLo; a < aHi; a++ {
 			lo := r[a]
 			n := int(cnt[a])
 			if n == 0 {
+				newCnt[a] = 0
 				continue
 			}
 			seg := f[lo : lo+int64(n)]
 			wseg := x[lo : lo+int64(n)]
 			if n < cutover {
-				par.SortPairsInt32(seg, wseg)
+				par.SortPairsInt32Scratch(seg, wseg, sc)
 				var w int32
 				for i := 0; i < n; i++ {
 					if w > 0 && seg[w-1] == seg[i] {
@@ -150,17 +175,13 @@ func dedupHybridSegments(f []int32, x []int64, r []int64, cnt []int32, p, cutove
 				newCnt[a] = w
 				continue
 			}
-			if ht == nil {
-				ht = newWeightTable(n)
-			} else {
-				ht.reset(n)
-			}
+			ht.reset(n)
 			for i := 0; i < n; i++ {
 				ht.add(seg[i], wseg[i])
 			}
 			var w int64
 			for s := 0; s < ht.cap; s++ {
-				if ht.keys[s] != unset {
+				if ht.occupied(s) {
 					seg[w] = ht.keys[s]
 					wseg[w] = ht.vals[s]
 					w++

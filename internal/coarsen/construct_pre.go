@@ -1,8 +1,6 @@
 package coarsen
 
 import (
-	"sync/atomic"
-
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
 )
@@ -14,60 +12,69 @@ import (
 // no longer correspond to a single fine edge, the one-sided tie-break uses
 // coarse ids (a < b) rather than fine ids — each undirected fine edge is
 // still written to exactly one side.
-func buildVertexCentricPre(g *graph.Graph, m *Mapping, p int, mode sideMode, dedup dedupFunc) (*graph.Graph, error) {
+//
+// Like buildVertexCentric, every pass is a contention-free two-phase
+// scatter over fixed edge-balanced worker ranges: no contended writes, and bin
+// contents in fine-vertex order for every worker count.
+func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode sideMode, dedup dedupFunc) (*graph.Graph, error) {
 	n := g.N()
 	if err := m.Validate(n); err != nil {
 		return nil, err
 	}
 	nc := int(m.NC)
 	mv := m.M
+	p = par.Workers(p, n)
 
-	vwgt := make([]int64, nc)
-	par.ForEachChunked(n, p, 1024, func(i int) {
-		atomic.AddInt64(&vwgt[mv[i]], g.VertexWeight(int32(i)))
-	})
+	ws.bounds = par.BalancedRanges(ws.bounds, g.Xadj, p)
+	bounds := ws.bounds
+
+	vwgt := aggregateVertexWeights(ws, g, mv, nc, p, bounds)
 
 	oneSided := mode == sideOne
+	keyBufs, wgtBufs := ws.pairBufsFor(p)
+	scratch := ws.sortScratchFor(p)
 
-	// localTargets fills the scratch buffers with vertex u's distinct
-	// coarse targets (excluding its own aggregate) and merged weights.
-	localTargets := func(u int32, bufK *[]int32, bufW *[]int64) ([]int32, []int64) {
+	// localTargets fills worker w's scratch buffers with vertex u's
+	// distinct coarse targets (excluding its own aggregate) and merged
+	// weights.
+	localTargets := func(w int, u int32) ([]int32, []int64) {
 		a := mv[u]
 		adj, wgt := g.Neighbors(u)
-		ks := (*bufK)[:0]
-		ws := (*bufW)[:0]
+		ks := keyBufs[w][:0]
+		ws2 := wgtBufs[w][:0]
 		for k, v := range adj {
 			if b := mv[v]; b != a {
 				ks = append(ks, b)
-				ws = append(ws, wgt[k])
+				ws2 = append(ws2, wgt[k])
 			}
 		}
-		par.SortPairsInt32(ks, ws)
-		var w int
+		keyBufs[w], wgtBufs[w] = ks, ws2
+		par.SortPairsInt32Scratch(ks, ws2, scratch[w])
+		var wr int
 		for i := 0; i < len(ks); i++ {
-			if w > 0 && ks[w-1] == ks[i] {
-				ws[w-1] += ws[i]
+			if wr > 0 && ks[wr-1] == ks[i] {
+				ws2[wr-1] += ws2[i]
 			} else {
-				ks[w] = ks[i]
-				ws[w] = ws[i]
-				w++
+				ks[wr] = ks[i]
+				ws2[wr] = ws2[i]
+				wr++
 			}
 		}
-		*bufK, *bufW = ks, ws
-		return ks[:w], ws[:w]
+		return ks[:wr], ws2[:wr]
 	}
 
 	// Step 1: upper-bound coarse degrees over merged entries.
-	cEst := make([]int32, nc)
-	par.ForChunked(n, p, 256, func(_, lo, hi int) {
-		var bufK []int32
-		var bufW []int64
+	hists := ws.histograms(p, nc)
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
 		for i := lo; i < hi; i++ {
 			u := int32(i)
-			ks, _ := localTargets(u, &bufK, &bufW)
-			atomic.AddInt32(&cEst[mv[u]], int32(len(ks)))
+			ks, _ := localTargets(w, u)
+			h[mv[u]] += int32(len(ks))
 		}
 	})
+	cEst := growI32(&ws.cEst, nc)
+	par.MergeHistograms(hists, cEst, p)
 
 	writeHere := func(a, b int32) bool {
 		if !oneSided {
@@ -79,61 +86,56 @@ func buildVertexCentricPre(g *graph.Graph, m *Mapping, p int, mode sideMode, ded
 		return a < b
 	}
 
-	// Step 2: exact bin sizes.
-	var cnt []int32
+	// Step 2: exact bin sizes. Both-sided reuses the step-1 histograms
+	// (already converted to per-worker offsets by MergeHistograms).
+	cnt := cEst
 	if oneSided {
-		cnt = make([]int32, nc)
-		par.ForChunked(n, p, 256, func(_, lo, hi int) {
-			var bufK []int32
-			var bufW []int64
+		hists = ws.histograms(p, nc)
+		par.ForRanges(bounds, func(w, lo, hi int) {
+			h := hists[w]
 			for i := lo; i < hi; i++ {
 				u := int32(i)
 				a := mv[u]
-				ks, _ := localTargets(u, &bufK, &bufW)
-				var c int32
+				ks, _ := localTargets(w, u)
 				for _, b := range ks {
 					if writeHere(a, b) {
-						c++
+						h[a]++
 					}
-				}
-				if c > 0 {
-					atomic.AddInt32(&cnt[a], c)
 				}
 			}
 		})
-	} else {
-		cnt = cEst
+		cnt = growI32(&ws.cnt, nc)
+		par.MergeHistograms(hists, cnt, p)
 	}
 
-	// Step 3 + 4: offsets and scatter.
-	r := make([]int64, nc+1)
+	// Step 3 + 4: offsets and contention-free scatter.
+	r := growI64(&ws.r, nc+1)
 	total := par.PrefixSumInt32(r, cnt, p)
-	f := make([]int32, total)
-	x := make([]int64, total)
-	pos := make([]int32, nc)
-	par.ForChunked(n, p, 256, func(_, lo, hi int) {
-		var bufK []int32
-		var bufW []int64
+	f := growI32(&ws.binF, int(total))
+	x := growI64(&ws.binX, int(total))
+	par.ForRanges(bounds, func(w, lo, hi int) {
+		h := hists[w]
 		for i := lo; i < hi; i++ {
 			u := int32(i)
 			a := mv[u]
-			ks, ws := localTargets(u, &bufK, &bufW)
+			ks, wsg := localTargets(w, u)
 			for k, b := range ks {
 				if !writeHere(a, b) {
 					continue
 				}
-				l := r[a] + int64(atomic.AddInt32(&pos[a], 1)-1)
+				l := r[a] + int64(h[a])
+				h[a]++
 				f[l] = b
-				x[l] = ws[k]
+				x[l] = wsg[k]
 			}
 		}
 	})
 
 	// Steps 5 + 6: per-coarse-vertex dedup and finalization.
-	newCnt := dedup(f, x, r, cnt, p)
+	newCnt := dedup(ws, f, x, r, cnt, p)
 	var cg *graph.Graph
 	if oneSided {
-		cg = symmetrizeDeduped(f, x, r, newCnt, nc, p, dedup)
+		cg = symmetrizeDeduped(ws, f, x, r, newCnt, nc, p, dedup)
 	} else {
 		cg = compactDeduped(f, x, r, newCnt, nc, p)
 	}

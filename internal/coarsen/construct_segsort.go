@@ -21,43 +21,46 @@ func (BuildSegSort) Name() string { return "segsort" }
 
 // Build implements Builder.
 func (b BuildSegSort) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder.
+func (b BuildSegSort) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
 	mode := BuildSort{SkewThreshold: b.SkewThreshold, ForceOneSided: b.ForceOneSided}.mode(g)
-	return buildVertexCentric(g, m, p, mode, dedupSegmentedSort)
+	return buildVertexCentric(ws, g, m, p, mode, dedupSegmentedSort)
 }
 
 // dedupSegmentedSort deduplicates all segments with a single global sort
 // on (segment, key) composite keys followed by a per-segment merge scan.
-func dedupSegmentedSort(f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+// The bins produced by the two-phase scatter are dense (r[a+1] = r[a] +
+// cnt[a]), so packing the composite keys is an index-parallel pass and the
+// sorted stream unpacks back into the same positions. LSD radix is stable,
+// so the result is deterministic for every worker count.
+func dedupSegmentedSort(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
 	nc := len(cnt)
-	var total int64
-	for _, c := range cnt {
-		total += int64(c)
-	}
-	keys := make([]uint64, total)
-	vals := make([]uint64, total)
-	// Pack (segment id, neighbor id) into one 64-bit key; positions are
-	// compacted so the sorted stream can be unpacked back into segments.
-	pos := int64(0)
-	offsets := make([]int64, nc+1)
-	for a := 0; a < nc; a++ {
-		offsets[a] = pos
+	newCnt := growI32(&ws.newCnt, nc)
+	total := r[nc]
+	keys := growU64(&ws.keys64, int(total))
+	vals := growU64(&ws.vals64, int(total))
+	// Pack (segment id, neighbor id) into one 64-bit key.
+	par.ForEachChunked(nc, p, 256, func(a int) {
 		lo := r[a]
-		for k := int64(0); k < int64(cnt[a]); k++ {
-			keys[pos] = uint64(uint32(a))<<32 | uint64(uint32(f[lo+k]))
-			vals[pos] = uint64(x[lo+k])
-			pos++
+		hi := lo + int64(cnt[a])
+		for i := lo; i < hi; i++ {
+			keys[i] = uint64(uint32(a))<<32 | uint64(uint32(f[i]))
+			vals[i] = uint64(x[i])
 		}
-	}
-	offsets[nc] = pos
+	})
 	par.RadixSortPairs(keys, vals, p)
 
 	// Unpack: the sorted stream is grouped by segment (high bits), so each
-	// segment's entries are contiguous; merge duplicates back into f/x.
-	newCnt := make([]int32, nc)
+	// segment's entries are back at [r[a], r[a]+cnt[a]); merge duplicates
+	// into f/x.
 	par.ForChunked(nc, p, 64, func(_, aLo, aHi int) {
 		for a := aLo; a < aHi; a++ {
-			lo, hi := offsets[a], offsets[a+1]
-			w := r[a]
+			lo := r[a]
+			hi := lo + int64(cnt[a])
+			w := lo
 			var written int32
 			for i := lo; i < hi; i++ {
 				k := int32(uint32(keys[i]))

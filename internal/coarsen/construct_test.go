@@ -286,13 +286,25 @@ func TestWeightTable(t *testing.T) {
 	wt.add(9, 3)
 	wt.add(7, 5)
 	got := map[int32]int64{}
-	for i, k := range wt.keys {
-		if k != unset {
-			got[k] = wt.vals[i]
+	for s := 0; s < wt.cap; s++ {
+		if wt.occupied(s) {
+			got[wt.keys[s]] = wt.vals[s]
 		}
 	}
 	if got[7] != 7 || got[9] != 3 || len(got) != 2 {
 		t.Errorf("weightTable contents = %v", got)
+	}
+	// Epoch reset must hide all previous entries without touching slots.
+	wt.reset(3)
+	for s := 0; s < wt.cap; s++ {
+		if wt.occupied(s) {
+			t.Fatalf("slot %d still occupied after reset", s)
+		}
+	}
+	// The logical capacity is a pure function of the segment size, so the
+	// slot layout is the same no matter what earlier segments used it for.
+	if wt.cap != 16 {
+		t.Errorf("reset(3) cap = %d, want 16", wt.cap)
 	}
 	// Force growth via reset with a large segment.
 	wt.reset(1000)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/par"
 )
 
 // Coarsener drives the multilevel loop (Algorithm 1): repeatedly map fine
@@ -108,9 +109,9 @@ func (h *Hierarchy) ProjectToFine(coarsest []int32) []int32 {
 	for i := len(h.Maps) - 1; i >= 0; i-- {
 		m := h.Maps[i]
 		fine := make([]int32, len(m))
-		for u := range m {
+		par.ForEach(len(m), 0, func(u int) {
 			fine[u] = cur[m[u]]
-		}
+		})
 		cur = fine
 	}
 	return cur
@@ -120,9 +121,9 @@ func (h *Hierarchy) ProjectToFine(coarsest []int32) []int32 {
 // fine vertices directly onto the coarser of the two levels.
 func ComposeMaps(fineToMid, midToCoarse []int32) []int32 {
 	out := make([]int32, len(fineToMid))
-	for u, mid := range fineToMid {
-		out[u] = midToCoarse[mid]
-	}
+	par.ForEach(len(fineToMid), 0, func(u int) {
+		out[u] = midToCoarse[fineToMid[u]]
+	})
 	return out
 }
 
@@ -168,6 +169,13 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 
 	h := &Hierarchy{Graphs: []*graph.Graph{g}}
 	cur := g
+	// Builders that support it share one scratch workspace across all
+	// levels, so steady-state construction allocates only the output CSR.
+	var ws *Workspace
+	wb, reuse := c.Builder.(WorkspaceBuilder)
+	if reuse {
+		ws = NewWorkspace()
+	}
 	for cur.N() > cutoff && h.Levels() < maxLevels {
 		t0 := time.Now()
 		m, err := c.Mapper.Map(cur, c.Seed+uint64(h.Levels()), c.Workers)
@@ -180,7 +188,12 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 			// on mutual-matching graphs; stop with what we have.
 			break
 		}
-		next, err := c.Builder.Build(cur, m, c.Workers)
+		var next *graph.Graph
+		if reuse {
+			next, err = wb.BuildWith(ws, cur, m, c.Workers)
+		} else {
+			next, err = c.Builder.Build(cur, m, c.Workers)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("coarsen: level %d construction: %w", h.Levels()+1, err)
 		}

@@ -1,0 +1,152 @@
+package coarsen
+
+import (
+	"mlcg/internal/graph"
+	"mlcg/internal/par"
+)
+
+// Workspace is the reusable scratch arena of the vertex-centric coarse
+// graph builders. One construction level needs O(m) bin storage (f/x),
+// O(nc) counters and offsets, and O(p·nc) per-worker histograms; without a
+// workspace every level allocates those afresh. Coarsener.Run keeps one
+// Workspace for the whole hierarchy, so steady-state construction performs
+// (amortized) zero scratch allocations — only the output CSR arrays, which
+// escape into the Hierarchy, are freshly allocated per level.
+//
+// Lifetime rules:
+//   - A Workspace may be reused across levels, graphs, and builders, but
+//     not concurrently: one Build call owns it exclusively.
+//   - Buffers handed out by the getters alias the arena; they are dead as
+//     soon as the Build call returns. Builders must never let them escape
+//     into the returned graph.
+//   - The zero value is not ready; use NewWorkspace.
+type Workspace struct {
+	// Bin storage for the scatter phases: first-generation bins (binF/binX)
+	// and the symmetrize-phase bins (symF/symX).
+	binF []int32
+	binX []int64
+	symF []int32
+	symX []int64
+
+	// Per-bin counters and offsets.
+	cnt    []int32
+	cnt2   []int32
+	cEst   []int32
+	newCnt []int32
+	r      []int64
+	r2     []int64
+
+	// Per-worker state: scatter histograms, vertex-weight partials, range
+	// boundaries, dedup hash tables, and small pair buffers (heap dedup
+	// output, pre-dedup adjacency scratch).
+	hists     [][]int32
+	vwgtParts [][]int64
+	bounds    []int
+	bounds2   []int
+	tables    []*weightTable
+	keyBufs   [][]int32
+	wgtBufs   [][]int64
+	sortBufs  []*par.SortScratch
+
+	// Radix-sort builder scratch (segsort dedup, global-sort baseline).
+	keys64 []uint64
+	vals64 []uint64
+	offs   []int64
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are retained for reuse.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growI64(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growU64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// histograms returns p zero-filled histograms of nc bins each.
+// Callers own histogram w exclusively while worker w runs.
+func (ws *Workspace) histograms(p, nc int) [][]int32 {
+	for len(ws.hists) < p {
+		ws.hists = append(ws.hists, nil)
+	}
+	hs := ws.hists[:p]
+	for w := 0; w < p; w++ {
+		h := growI32(&ws.hists[w], nc)
+		for i := range h {
+			h[i] = 0
+		}
+	}
+	return hs
+}
+
+// weightPartials returns p zero-filled int64 accumulators of nc bins each.
+func (ws *Workspace) weightPartials(p, nc int) [][]int64 {
+	for len(ws.vwgtParts) < p {
+		ws.vwgtParts = append(ws.vwgtParts, nil)
+	}
+	hs := ws.vwgtParts[:p]
+	for w := 0; w < p; w++ {
+		h := growI64(&ws.vwgtParts[w], nc)
+		for i := range h {
+			h[i] = 0
+		}
+	}
+	return hs
+}
+
+// tablesFor returns one dedup hash table per worker. Must be called
+// before the parallel section; workers then index the result by worker id.
+func (ws *Workspace) tablesFor(p int) []*weightTable {
+	for len(ws.tables) < p {
+		ws.tables = append(ws.tables, newWeightTable(64))
+	}
+	return ws.tables[:p]
+}
+
+// sortScratchFor returns one radix-sort scratch per worker. Must be called
+// before the parallel section; workers then index the result by worker id.
+func (ws *Workspace) sortScratchFor(p int) []*par.SortScratch {
+	for len(ws.sortBufs) < p {
+		ws.sortBufs = append(ws.sortBufs, &par.SortScratch{})
+	}
+	return ws.sortBufs[:p]
+}
+
+// pairBufsFor returns per-worker reusable (key, weight) pair buffers.
+// Must be called before the parallel section; worker w owns element w of
+// both slices and writes grown buffers back into them.
+func (ws *Workspace) pairBufsFor(p int) ([][]int32, [][]int64) {
+	for len(ws.keyBufs) < p {
+		ws.keyBufs = append(ws.keyBufs, nil)
+		ws.wgtBufs = append(ws.wgtBufs, nil)
+	}
+	return ws.keyBufs[:p], ws.wgtBufs[:p]
+}
+
+// WorkspaceBuilder is implemented by builders that can run their scratch
+// phase out of a caller-provided Workspace. Coarsener.Run uses it to reuse
+// one arena across all levels of a hierarchy.
+type WorkspaceBuilder interface {
+	Builder
+	// BuildWith is Build with explicit scratch; ws must be non-nil.
+	BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error)
+}

@@ -95,6 +95,35 @@ func PrefixSumInt32(dst []int64, src []int32, p int) int64 {
 	return total
 }
 
+// MergeHistograms is the segmented cross-worker prefix sum behind the
+// contention-free two-phase scatter: hists holds one bin-count histogram
+// per worker (each of length nc), and for every bin a the call replaces
+// the per-worker counts with their exclusive prefix across workers while
+// accumulating the bin total into cnt[a]:
+//
+//	cnt[a]      = Σ_w hists[w][a]
+//	hists[w][a] = Σ_{w'<w} old hists[w'][a]
+//
+// After a global exclusive prefix sum of cnt into base offsets r, worker w
+// owns the write window [r[a]+hists[w][a], r[a]+hists[w][a]+count) of bin a
+// and can scatter into it without atomics. Because workers own contiguous,
+// ordered input ranges, the resulting bin contents are in global input
+// order — independent of the worker count.
+func MergeHistograms(hists [][]int32, cnt []int32, p int) {
+	nc := len(cnt)
+	ForChunked(nc, p, 2048, func(_, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			var run int32
+			for w := range hists {
+				c := hists[w][a]
+				hists[w][a] = run
+				run += c
+			}
+			cnt[a] = run
+		}
+	})
+}
+
 // Pack writes the indices i in [0, n) for which keep(i) is true into a
 // freshly allocated slice, preserving index order. This is the parallel
 // stream-compaction used to gather unmapped vertices between passes of the

@@ -85,6 +85,13 @@ func RadixSortPairs(keys, vals []uint64, p int) {
 // and as the p==1 path.
 func radixSortPairsSeq(keys, vals []uint64) {
 	n := len(keys)
+	radixSortPairsSeqScratch(keys, vals, make([]uint64, n), make([]uint64, n))
+}
+
+// radixSortPairsSeqScratch is radixSortPairsSeq with caller-provided
+// ping-pong buffers (each at least len(keys) long).
+func radixSortPairsSeqScratch(keys, vals, tmpK, tmpV []uint64) {
+	n := len(keys)
 	var orAll uint64
 	andAll := ^uint64(0)
 	for _, k := range keys {
@@ -92,8 +99,8 @@ func radixSortPairsSeq(keys, vals []uint64) {
 		andAll &= k
 	}
 	diff := orAll ^ andAll
-	tmpK := make([]uint64, n)
-	tmpV := make([]uint64, n)
+	tmpK = tmpK[:n]
+	tmpV = tmpV[:n]
 	var hist [radixBuckets]int64
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK, tmpV
@@ -151,15 +158,52 @@ func SortPairsInt32(keys []int32, wgts []int64) {
 		}
 		return
 	}
-	k64 := make([]uint64, n)
-	v64 := make([]uint64, n)
+	var s SortScratch
+	sortPairsInt32Radix(keys, wgts, &s)
+}
+
+// SortScratch holds the reusable buffers of SortPairsInt32Scratch. The
+// zero value is ready; buffers grow on demand and are retained.
+type SortScratch struct {
+	k64, v64, tmpK, tmpV []uint64
+}
+
+func (s *SortScratch) ensure(n int) {
+	if cap(s.k64) < n {
+		s.k64 = make([]uint64, n)
+		s.v64 = make([]uint64, n)
+		s.tmpK = make([]uint64, n)
+		s.tmpV = make([]uint64, n)
+	}
+}
+
+// SortPairsInt32Scratch is SortPairsInt32 with caller-provided scratch,
+// for callers that sort many segments in a loop and want zero steady-state
+// allocations. The scratch must not be shared between concurrent callers.
+func SortPairsInt32Scratch(keys []int32, wgts []int64, s *SortScratch) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if n <= 48 {
+		SortPairsInt32(keys, wgts)
+		return
+	}
+	sortPairsInt32Radix(keys, wgts, s)
+}
+
+func sortPairsInt32Radix(keys []int32, wgts []int64, s *SortScratch) {
+	n := len(keys)
+	s.ensure(n)
+	k64 := s.k64[:n]
+	v64 := s.v64[:n]
 	for i := 0; i < n; i++ {
 		// Flip the sign bit so negative keys order below non-negative
 		// ones under the unsigned radix comparison.
 		k64[i] = uint64(uint32(keys[i]) ^ 0x80000000)
 		v64[i] = uint64(wgts[i])
 	}
-	radixSortPairsSeq(k64, v64)
+	radixSortPairsSeqScratch(k64, v64, s.tmpK, s.tmpV)
 	for i := 0; i < n; i++ {
 		keys[i] = int32(uint32(k64[i]) ^ 0x80000000)
 		wgts[i] = int64(v64[i])

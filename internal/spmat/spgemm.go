@@ -39,11 +39,14 @@ func SpGEMM(a, b *CSR, p int) *CSR {
 	col := make([]int32, nnz)
 	val := make([]float64, nnz)
 
-	// Numeric phase: accumulate values per row and emit.
+	// Numeric phase: accumulate values per row and emit. The accumulator is
+	// reset to a capacity derived from the symbolic row count, so the slot
+	// layout — and with it the emitted column order — is a deterministic
+	// function of the row alone, independent of worker count or scheduling.
 	par.ForChunked(n, p, 64, func(_, lo, hi int) {
 		hm := newHashMap(64)
 		for i := lo; i < hi; i++ {
-			hm.reset()
+			hm.resetSized(int(rowptr[i+1] - rowptr[i]))
 			acols, avals := a.Row(int32(i))
 			for j, k := range acols {
 				av := avals[j]
@@ -54,7 +57,7 @@ func SpGEMM(a, b *CSR, p int) *CSR {
 			}
 			pos := rowptr[i]
 			for s := 0; s < hm.cap; s++ {
-				if hm.keys[s] >= 0 {
+				if hm.occupied(s) {
 					col[pos] = hm.keys[s]
 					val[pos] = hm.vals[s]
 					pos++
@@ -125,26 +128,26 @@ func Laplacian(g *graph.Graph) *CSR {
 }
 
 // hashSet is an open-addressing set of int32 keys used by the symbolic
-// SpGEMM phase. Capacity is always a power of two.
+// SpGEMM phase. Capacity is always a power of two. Slots carry an epoch
+// stamp instead of a sentinel key, so reset is O(1) rather than a full
+// clear of the backing array.
 type hashSet struct {
-	keys []int32
-	cap  int
-	size int
+	keys  []int32
+	stamp []uint64
+	epoch uint64
+	cap   int
+	size  int
 }
 
 func newHashSet(capacity int) *hashSet {
 	capacity = nextPow2(capacity)
-	h := &hashSet{keys: make([]int32, capacity), cap: capacity}
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	h := &hashSet{keys: make([]int32, capacity), stamp: make([]uint64, capacity), cap: capacity}
+	h.epoch = 1
 	return h
 }
 
 func (h *hashSet) reset() {
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	h.epoch++
 	h.size = 0
 }
 
@@ -155,12 +158,13 @@ func (h *hashSet) insert(k int32) {
 	mask := uint32(h.cap - 1)
 	s := (uint32(k) * 2654435761) & mask
 	for {
-		if h.keys[s] == k {
-			return
-		}
-		if h.keys[s] == -1 {
+		if h.stamp[s] != h.epoch {
+			h.stamp[s] = h.epoch
 			h.keys[s] = k
 			h.size++
+			return
+		}
+		if h.keys[s] == k {
 			return
 		}
 		s = (s + 1) & mask
@@ -168,44 +172,72 @@ func (h *hashSet) insert(k int32) {
 }
 
 func (h *hashSet) grow() {
-	old := h.keys
+	oldK, oldS, oldE := h.keys, h.stamp, h.epoch
 	h.cap *= 2
 	h.keys = make([]int32, h.cap)
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	h.stamp = make([]uint64, h.cap)
+	h.epoch = 1
 	h.size = 0
-	for _, k := range old {
-		if k >= 0 {
+	for i, k := range oldK {
+		if oldS[i] == oldE {
 			h.insert(k)
 		}
 	}
 }
 
 // hashMap is an open-addressing int32→float64 accumulator used by the
-// numeric SpGEMM phase.
+// numeric SpGEMM phase. Like hashSet it uses epoch stamps for O(1) reset;
+// resetSized additionally pins the logical capacity to a pure function of
+// the requested size, so the slot layout (and hence any iteration order)
+// is deterministic regardless of what earlier rows left behind.
 type hashMap struct {
-	keys []int32
-	vals []float64
+	keys  []int32
+	vals  []float64
+	stamp []uint64
+	epoch uint64
+	// cap is the logical capacity: a power of two ≤ len(keys). Probing is
+	// confined to the first cap slots.
 	cap  int
 	size int
 }
 
 func newHashMap(capacity int) *hashMap {
 	capacity = nextPow2(capacity)
-	h := &hashMap{keys: make([]int32, capacity), vals: make([]float64, capacity), cap: capacity}
-	for i := range h.keys {
-		h.keys[i] = -1
+	h := &hashMap{
+		keys:  make([]int32, capacity),
+		vals:  make([]float64, capacity),
+		stamp: make([]uint64, capacity),
+		cap:   capacity,
 	}
+	h.epoch = 1
 	return h
 }
 
 func (h *hashMap) reset() {
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	h.epoch++
 	h.size = 0
 }
+
+// resetSized clears the map and sets the logical capacity to the smallest
+// power of two ≥ 2·n (min 16), growing the backing arrays if needed.
+func (h *hashMap) resetSized(n int) {
+	c := 16
+	for c < 2*n {
+		c *= 2
+	}
+	h.cap = c
+	if c > len(h.keys) {
+		h.keys = make([]int32, c)
+		h.vals = make([]float64, c)
+		h.stamp = make([]uint64, c)
+		h.epoch = 0
+	}
+	h.epoch++
+	h.size = 0
+}
+
+// occupied reports whether slot s holds a live entry.
+func (h *hashMap) occupied(s int) bool { return h.stamp[s] == h.epoch }
 
 func (h *hashMap) add(k int32, v float64) {
 	if h.size*2 >= h.cap {
@@ -214,14 +246,15 @@ func (h *hashMap) add(k int32, v float64) {
 	mask := uint32(h.cap - 1)
 	s := (uint32(k) * 2654435761) & mask
 	for {
-		if h.keys[s] == k {
-			h.vals[s] += v
-			return
-		}
-		if h.keys[s] == -1 {
+		if h.stamp[s] != h.epoch {
+			h.stamp[s] = h.epoch
 			h.keys[s] = k
 			h.vals[s] = v
 			h.size++
+			return
+		}
+		if h.keys[s] == k {
+			h.vals[s] += v
 			return
 		}
 		s = (s + 1) & mask
@@ -229,17 +262,19 @@ func (h *hashMap) add(k int32, v float64) {
 }
 
 func (h *hashMap) growMap() {
-	oldK, oldV := h.keys, h.vals
-	h.cap *= 2
-	h.keys = make([]int32, h.cap)
-	h.vals = make([]float64, h.cap)
-	for i := range h.keys {
-		h.keys[i] = -1
-	}
+	// Always rehash into fresh arrays: the live entries are read out of the
+	// old backing while inserts write the new one, so they must not alias.
+	oldK, oldV, oldS, oldE, oldC := h.keys, h.vals, h.stamp, h.epoch, h.cap
+	c := h.cap * 2
+	h.keys = make([]int32, c)
+	h.vals = make([]float64, c)
+	h.stamp = make([]uint64, c)
+	h.cap = c
+	h.epoch = 1
 	h.size = 0
-	for i, k := range oldK {
-		if k >= 0 {
-			h.add(k, oldV[i])
+	for s := 0; s < oldC; s++ {
+		if oldS[s] == oldE {
+			h.add(oldK[s], oldV[s])
 		}
 	}
 }

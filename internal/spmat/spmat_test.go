@@ -325,13 +325,41 @@ func TestHashSetAndMapGrowth(t *testing.T) {
 		t.Errorf("map size = %d, want 500", hm.size)
 	}
 	var total float64
-	for i, k := range hm.keys {
-		if k >= 0 {
-			total += hm.vals[i]
+	for s := range hm.keys[:hm.cap] {
+		if hm.occupied(s) {
+			total += hm.vals[s]
 		}
 	}
 	if total != 1000 {
 		t.Errorf("accumulated total = %v, want 1000", total)
+	}
+
+	// Epoch reset: O(1) clear must hide every previous entry.
+	hm.reset()
+	for s := range hm.keys[:hm.cap] {
+		if hm.occupied(s) {
+			t.Fatalf("slot %d still occupied after reset", s)
+		}
+	}
+	hm.add(7, 2.5)
+	if hm.size != 1 {
+		t.Errorf("size after reset+add = %d, want 1", hm.size)
+	}
+
+	// resetSized pins the logical capacity as a function of n alone.
+	hm.resetSized(3)
+	if hm.cap != 16 {
+		t.Errorf("resetSized(3) cap = %d, want 16", hm.cap)
+	}
+	hm.resetSized(100)
+	if hm.cap != 256 {
+		t.Errorf("resetSized(100) cap = %d, want 256", hm.cap)
+	}
+	for i := int32(0); i < 100; i++ {
+		hm.add(i, 1)
+	}
+	if hm.size != 100 {
+		t.Errorf("size after resetSized = %d, want 100", hm.size)
 	}
 }
 
