@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-construct tables figures verify clean
+.PHONY: all build test race test-determinism fuzz bench bench-construct tables figures verify clean
 
 all: build test
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Cross-worker determinism gate: the canonical-ID guarantee (byte-identical
+# mappings, coarse graphs, and hierarchies at p = 1, 2, 4, 8) checked with
+# enough OS threads that the p = 8 runs actually interleave.
+test-determinism:
+	GOMAXPROCS=8 $(GO) test -run 'Determinism|Deterministic|Canonicalize' ./internal/par/... ./internal/coarsen/...
 
 # Short fuzz pass over every parser target.
 fuzz:

@@ -88,6 +88,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "levels=%d cr=%.2f total=%.3fs (map %.3fs, build %.3fs)\n",
 		h.Levels(), h.CoarseningRatio(), h.TotalTime().Seconds(),
 		h.MapTime().Seconds(), h.BuildTime().Seconds())
+	if h.Stalled {
+		st := h.StallStats
+		fmt.Fprintf(stdout, "stalled: mapping produced no reduction (n=%d nc=%d) after %d passes\n",
+			st.N, st.NC, st.Passes)
+	}
 
 	if *quality {
 		fmt.Fprintln(stdout, "per-level mapping quality:")

@@ -78,7 +78,7 @@ func (bs BSuitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	if b <= 0 {
 		b = 2
 	}
-	lists := bsuitorLists(g, seed, p, b)
+	lists, pos := bsuitorLists(g, seed, p, b)
 
 	// Mutual proposals form the b-matching; aggregates are its connected
 	// components (paths/cycles for b=2), found by union-find.
@@ -114,13 +114,14 @@ func (bs BSuitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	for u := int32(0); int(u) < n; u++ {
 		m[u] = find(u)
 	}
-	nc := compactRoots(m)
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
 // bsuitorLists runs the proposal rounds and returns every vertex's final
-// suitor list (exposed for the invariant tests).
-func bsuitorLists(g *graph.Graph, seed uint64, p, b int) []suitorList {
+// suitor list (exposed for the invariant tests) together with the random
+// permutation positions used, which drive the canonical relabeling.
+func bsuitorLists(g *graph.Graph, seed uint64, p, b int) ([]suitorList, []int32) {
 	n := g.N()
 	perm := par.RandPerm(n, seed, p)
 	pos := par.InversePerm(perm, p)
@@ -193,5 +194,5 @@ func bsuitorLists(g *graph.Graph, seed uint64, p, b int) []suitorList {
 	for _, u := range perm {
 		process(u)
 	}
-	return lists
+	return lists, pos
 }

@@ -9,7 +9,7 @@ import (
 func TestBSuitorListsRespectBound(t *testing.T) {
 	for gname, g := range testGraphs() {
 		for _, b := range []int{1, 2, 3} {
-			lists := bsuitorLists(g, 7, 1, b)
+			lists, _ := bsuitorLists(g, 7, 1, b)
 			for u := int32(0); u < g.NumV; u++ {
 				if len(lists[u].who) > b {
 					t.Fatalf("%s b=%d: vertex %d holds %d suitors", gname, b, u, len(lists[u].who))
@@ -85,7 +85,7 @@ func TestBSuitorMutualDegreeBound(t *testing.T) {
 	// partners, and aggregates (b=2) induce paths/cycles.
 	for gname, g := range testGraphs() {
 		for _, b := range []int{1, 2, 3} {
-			lists := bsuitorLists(g, 13, 1, b)
+			lists, _ := bsuitorLists(g, 13, 1, b)
 			for u := int32(0); u < g.NumV; u++ {
 				deg := 0
 				for _, v := range lists[u].who {

@@ -81,6 +81,12 @@ func (m *Mapping) Ratio() float64 {
 // Mapper computes a fine-to-coarse mapping of g. Implementations must
 // return compact coarse ids. seed controls the random ordering; p is the
 // worker count (p <= 0 means GOMAXPROCS).
+//
+// All registered mappers are schedule-independent: for a fixed (graph,
+// seed), M and NC are byte-identical at every worker count. Coarse ids are
+// the canonical labels produced by canonicalize — aggregates numbered by
+// the minimum permutation position of their members (see DESIGN.md,
+// "Canonical coarse IDs and cross-worker determinism").
 type Mapper interface {
 	Name() string
 	Map(g *graph.Graph, seed uint64, p int) (*Mapping, error)
@@ -158,22 +164,3 @@ func BuilderNames() []string {
 }
 
 const unset = int32(-1)
-
-// compactRoots relabels a root-pointer mapping in place: m[u] holds the
-// root vertex id of u's aggregate (with m[r] == r for roots) and is
-// rewritten to compact coarse ids [0, nc). Returns nc.
-func compactRoots(m []int32) int32 {
-	n := len(m)
-	newID := make([]int32, n)
-	var nc int32
-	for u := 0; u < n; u++ {
-		if m[u] == int32(u) {
-			newID[u] = nc
-			nc++
-		}
-	}
-	for u := 0; u < n; u++ {
-		m[u] = newID[m[u]]
-	}
-	return nc
-}

@@ -22,11 +22,18 @@ func fig1Demo() *graph.Graph {
 	return graph.MustFromEdges(16, e)
 }
 
-// TestGoldenDemoOutcomes pins the single-worker, fixed-seed behaviour of
-// every mapper on the demo graph. These are the qualitative Fig 1 results
-// recorded in EXPERIMENTS.md; a change here means an algorithm's
+// TestGoldenDemoOutcomes pins the fixed-seed behaviour of every mapper on
+// the demo graph — since the canonical-renumbering change the values hold
+// for every worker count, not just one. These are the qualitative Fig 1
+// results recorded in EXPERIMENTS.md; a change here means an algorithm's
 // deterministic behaviour drifted and the recorded analysis needs
 // re-checking (update both together, deliberately).
+//
+// Values regenerated when the parallel mappers switched from racing CAS
+// claims to deterministic reservation rounds with canonical coarse ids:
+// only gosh moved (5 -> 4 — the rank-driven center election merges one
+// more pair than the historical racy claim order happened to on this
+// graph); the other mappers' memberships are unchanged on the demo.
 func TestGoldenDemoOutcomes(t *testing.T) {
 	golden := map[string]int32{
 		"hec":     7,
@@ -37,7 +44,7 @@ func TestGoldenDemoOutcomes(t *testing.T) {
 		"hemseq":  9,
 		"twohop":  8,
 		"mis2":    3,
-		"gosh":    5,
+		"gosh":    4,
 		"goshhec": 5,
 		"suitor":  8,
 		"bsuitor": 3,

@@ -1,8 +1,6 @@
 package coarsen
 
 import (
-	"sync/atomic"
-
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
 )
@@ -15,6 +13,14 @@ import (
 // together, which keeps hubs from collapsing into one mega-aggregate.
 // Edge weights are ignored by design (the paper calls this out as a
 // drawback that GOSHHEC fixes).
+//
+// The historical implementation raced CAS claims along the degree order,
+// so cluster membership depended on thread interleaving. This version
+// resolves the same visit order through race-free phases: centers are the
+// vertices no claim-eligible neighbor outranks, everyone else joins their
+// best-ranked center neighbor, and two snapshot rounds let stragglers
+// adopt an already-assigned neighbor's cluster. Membership and labels are
+// identical for every worker count.
 type GOSH struct {
 	// HubDegreeFactor scales the high-degree threshold δ =
 	// max(4, factor·avgdeg); two vertices with degree > δ are not merged.
@@ -41,9 +47,12 @@ func goshThreshold(g *graph.Graph, factor float64) int64 {
 func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	n := g.N()
 	delta := goshThreshold(g, gm.HubDegreeFactor)
+	hub := func(v int32) bool { return g.Degree(v) > delta }
 
 	// Order vertices by decreasing degree; ties broken pseudo-randomly by
-	// the seed so different runs explore different orders.
+	// the seed, then by id (radix sort is stable), so ranks are unique.
+	// rank[u] is u's visit position — it plays the role pos[] plays for
+	// the permutation-driven mappers, including in the canonical relabel.
 	keys := make([]uint64, n)
 	vals := make([]uint64, n)
 	par.ForEach(n, p, func(i int) {
@@ -53,27 +62,97 @@ func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		vals[i] = uint64(i)
 	})
 	par.RadixSortPairs(keys, vals, p)
+	rank := make([]int32, n)
+	par.ForEach(n, p, func(i int) {
+		rank[vals[i]] = int32(i)
+	})
 
+	// Phase 1: centers. u becomes a center when no neighbor that could
+	// claim it (hub–hub edges never claim) outranks it — the vertices the
+	// sequential degree-order sweep would visit unclaimed. Read-only on
+	// shared state, each vertex writes its own entry.
 	m := make([]int32, n)
 	par.Fill(m, unset, p)
-	par.ForEachChunked(n, p, 512, func(i int) {
-		u := int32(vals[i])
-		if !atomic.CompareAndSwapInt32(&m[u], unset, u) {
-			return // u already joined another cluster
-		}
-		uHigh := g.Degree(u) > delta
+	par.ForEachChunked(n, p, 256, func(i int) {
+		u := int32(i)
+		uHub := hub(u)
 		adj, _ := g.Neighbors(u)
 		for _, v := range adj {
-			if uHigh && g.Degree(v) > delta {
+			if uHub && hub(v) {
 				continue // never contract two hubs
 			}
-			atomic.CompareAndSwapInt32(&m[v], unset, u)
+			if rank[v] < rank[u] {
+				return
+			}
+		}
+		m[u] = u
+	})
+
+	// Phase 2: everyone else joins their best-ranked (earliest-visited)
+	// center neighbor. Written into a fresh array so the center test reads
+	// only the frozen phase-1 output.
+	m2 := make([]int32, n)
+	par.ForEachChunked(n, p, 256, func(i int) {
+		u := int32(i)
+		if m[u] != unset {
+			m2[u] = m[u]
+			return
+		}
+		uHub := hub(u)
+		adj, _ := g.Neighbors(u)
+		best := unset
+		for _, v := range adj {
+			if m[v] != v {
+				continue // not a center
+			}
+			if uHub && hub(v) {
+				continue
+			}
+			if best == unset || rank[v] < rank[best] {
+				best = v
+			}
+		}
+		m2[u] = best // may remain unset
+	})
+	m = m2
+
+	// Phase 3: two snapshot rounds let stragglers (vertices whose eligible
+	// neighbors were all claimed, which the sequential sweep would have
+	// visited and centered or chained) adopt the cluster of their
+	// best-ranked assigned neighbor, unless that would merge two hubs.
+	for round := 0; round < 2; round++ {
+		snapshot := make([]int32, n)
+		par.Copy(snapshot, m, p)
+		par.ForEachChunked(n, p, 256, func(i int) {
+			u := int32(i)
+			if snapshot[u] != unset {
+				return
+			}
+			uHub := hub(u)
+			adj, _ := g.Neighbors(u)
+			best := unset
+			for _, v := range adj {
+				if snapshot[v] == unset {
+					continue
+				}
+				if uHub && hub(snapshot[v]) {
+					continue // cluster root is a hub: keep hubs apart
+				}
+				if best == unset || rank[v] < rank[best] {
+					best = v
+				}
+			}
+			if best != unset {
+				m[u] = snapshot[best]
+			}
+		})
+	}
+	par.ForEach(n, p, func(i int) {
+		if m[i] == unset {
+			m[i] = int32(i)
 		}
 	})
-	// Claimed-but-center vertices: m[u] == u are roots, everything else
-	// points at its center, which is a root by construction (a center
-	// claimed itself before claiming others).
-	nc := compactRoots(m)
+	nc := canonicalize(m, rank, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
@@ -136,10 +215,14 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	})
 
 	// Phase 2: join the heaviest center neighbor; hubs never merge into
-	// hub centers. Race-free: each vertex writes only its own entry.
+	// hub centers. Written into a fresh array so the center test reads
+	// only the frozen phase-1 output (reading m while peers assign their
+	// own entries would race).
+	m2 := make([]int32, n)
 	par.ForEachChunked(n, p, 256, func(i int) {
 		u := int32(i)
 		if m[u] != unset {
+			m2[u] = m[u]
 			return
 		}
 		uHub := g.Degree(u) > delta
@@ -147,7 +230,7 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		best := unset
 		var bw int64 = -1
 		for k, v := range adj {
-			if m[v] != int32(v) || v == u {
+			if m[v] != v || v == u {
 				continue // not a center
 			}
 			if uHub && g.Degree(v) > delta {
@@ -158,10 +241,9 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 				best, bw = v, w
 			}
 		}
-		if best != unset {
-			m[u] = best
-		}
+		m2[u] = best // may remain unset
 	})
+	m = m2
 
 	// Phase 3: stragglers adopt their heaviest assigned neighbor's
 	// aggregate. Two rounds reach everything within distance two of a
@@ -198,6 +280,6 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[i] = int32(i)
 		}
 	})
-	nc := compactRoots(m)
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }

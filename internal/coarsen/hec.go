@@ -1,8 +1,6 @@
 package coarsen
 
 import (
-	"sync/atomic"
-
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
 )
@@ -21,19 +19,21 @@ func (HECSeq) Name() string { return "hecseq" }
 func (HECSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	n := g.N()
 	perm := par.RandPerm(n, seed, p)
+	pos := par.InversePerm(perm, p)
 	m := make([]int32, n)
 	for i := range m {
 		m[i] = unset
 	}
-	var nc int32
+	// Root-vertex labels (m[u] = the vertex that anchored u's aggregate)
+	// instead of a running counter, so the canonical relabeling below can
+	// assign the same ids regardless of visit order.
 	for _, u := range perm {
 		if m[u] != unset {
 			continue
 		}
 		adj, wgt := g.Neighbors(u)
 		if len(adj) == 0 {
-			m[u] = nc
-			nc++
+			m[u] = u
 			continue
 		}
 		x := adj[0]
@@ -44,39 +44,64 @@ func (HECSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			}
 		}
 		if m[x] == unset {
-			m[x] = nc
-			nc++
+			m[x] = x
 		}
 		m[u] = m[x]
 	}
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
-// HEC is the lock-free parallelization of heavy edge coarsening
-// (Algorithm 4). Threads concurrently inspect heavy edges <u, H[u]> and
-// claim both endpoints with compare-and-swap on a temporary ownership
-// array C; create edges allocate a fresh coarse id, inherit edges adopt
-// the partner's id, and failed claims release ownership and retry in a
-// later pass over the still-unmapped vertices. A positional identifier
-// check on mutual heavy pairs prevents the claim deadlock discussed in
-// Section III.A.1.
+// HEC is the parallel heavy edge coarsening of Algorithm 4, made
+// schedule-independent: instead of racing compare-and-swap claims (whose
+// winners depend on thread interleaving), each pass runs a deterministic
+// reservation round in the style of deterministic parallel reservations
+// (Blelloch et al.). Every pending vertex u inspects its heavy edge
+// <u, H[u]> and classifies the operation:
+//
+//   - singleton — u is isolated; always commits.
+//   - inherit   — H[u] already carries an aggregate; u wants to join it.
+//   - pair      — H[u] is unmapped; u wants to found the aggregate {u, H[u]}.
+//
+// Each inherit/pair operation reserves the cells it writes (its own, plus
+// the partner's for pairs) with an atomic-min keyed by pos[u], and commits
+// only if it holds the minimum on every reserved cell. Min is
+// order-insensitive, so the set of committed operations — and therefore the
+// aggregate membership — is identical for every worker count and
+// interleaving. The globally minimum-position pending operation always
+// holds all its cells, so every round makes progress and no livelock
+// (Section III.A.1's mutual-pair deadlock) can occur. A catch-up wave then
+// lets pair operations whose partner was claimed by a stronger rival adopt
+// the partner's fresh aggregate within the same pass (writing only their
+// own cell — race-free), which preserves the paper's property that the
+// vast majority of vertices map within two passes.
 type HEC struct {
-	// MaxPasses bounds the retry loop; once exceeded, the remaining
-	// vertices are finished sequentially (exact Algorithm 3 semantics on
-	// the residue). Zero means the default of 64. In practice the paper
-	// observes >99% of vertices mapping within two passes.
+	// MaxPasses bounds the reservation rounds; once exceeded, the
+	// remaining vertices are finished sequentially in permutation order
+	// (exact Algorithm 3 semantics on the residue). Zero means the default
+	// of 64. In practice the paper observes >99% of vertices mapping
+	// within two passes.
 	MaxPasses int
 
 	// MaxAggWeight optionally caps the vertex weight an aggregate may
 	// accumulate (0 = unbounded, the paper's setting). Partitioners use a
 	// cap so hub aggregates cannot grow past the balance tolerance —
 	// the same guard Metis applies during matching. A vertex whose heavy
-	// neighbor's aggregate is full becomes a singleton instead.
+	// neighbor's aggregate is full becomes a singleton instead, and a
+	// vertex whose own weight exceeds the cap is always a singleton (it
+	// could never share an aggregate without blowing the cap).
 	MaxAggWeight int64
 }
 
 // Name implements Mapper.
 func (HEC) Name() string { return "hec" }
+
+// Operation kinds for the reservation rounds.
+const (
+	hecActSingle = int8(iota)
+	hecActPair
+	hecActInherit
+)
 
 // Map implements Mapper.
 func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
@@ -91,119 +116,142 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 
 	m := make([]int32, n)
 	par.Fill(m, unset, p)
-	c := make([]int32, n) // 0 = unclaimed, v+1 = claimed for partner v
-	var nc int32
+	// res[x] = pos of the strongest (minimum-position) pending operation
+	// that reserved cell x this round; act[u] = u's classified operation.
+	// Only cells of queued vertices are read, so neither array needs a
+	// full reset between passes.
+	res := make([]int32, n)
+	act := make([]int8, n)
+	inf := int32(n)
 
-	// Aggregate weights, tracked only when a cap is configured.
+	// Aggregate weights by root vertex, tracked only when a cap is
+	// configured. All writes are made by the unique reservation winner or
+	// inside the owner's sorted segment, so no atomics are needed.
 	maxAW := h.MaxAggWeight
 	var aw []int64
 	if maxAW > 0 {
 		aw = make([]int64, n)
 	}
-	// tryJoin reserves u's weight in aggregate id, failing when the cap
-	// would be exceeded (singletons always fit: they get a fresh id).
-	tryJoin := func(id int32, w int64) bool {
-		if maxAW <= 0 {
-			return true
-		}
-		for {
-			cur := atomic.LoadInt64(&aw[id])
-			if cur+w > maxAW && cur > 0 {
-				return false
-			}
-			if atomic.CompareAndSwapInt64(&aw[id], cur, cur+w) {
-				return true
-			}
-		}
-	}
-	singleton := func(u int32) {
-		id := atomic.AddInt32(&nc, 1) - 1
-		if maxAW > 0 {
-			atomic.StoreInt64(&aw[id], g.VertexWeight(u))
-		}
-		atomic.StoreInt32(&m[u], id)
-	}
+	vw := func(u int32) int64 { return g.VertexWeight(u) }
 
 	queue := perm
 	var passMapped []int64
 	pass := 0
 	for len(queue) > 0 && pass < maxPasses {
 		pass++
+		// Reset reservations. Every reservable cell belongs to a queued
+		// vertex (pair partners are unmapped, hence queued), so resetting
+		// res[u] for u in the queue covers them all with exclusive writes.
+		par.ForEach(len(queue), p, func(i int) {
+			res[queue[i]] = inf
+		})
+		// Classify and reserve. m is frozen during this phase, so the
+		// inherit-vs-pair decision reads stable values.
 		par.ForEachChunked(len(queue), p, 512, func(i int) {
 			u := queue[i]
-			if atomic.LoadInt32(&m[u]) != unset {
-				return
-			}
 			v := hv[u]
-			if v == u { // isolated vertex: singleton aggregate
-				if atomic.LoadInt32(&m[u]) == unset {
-					singleton(u)
+			if v == u {
+				act[u] = hecActSingle
+				return
+			}
+			if m[v] != unset {
+				act[u] = hecActInherit
+				par.AtomicMinInt32(&res[u], pos[u])
+				return
+			}
+			act[u] = hecActPair
+			par.AtomicMinInt32(&res[u], pos[u])
+			par.AtomicMinInt32(&res[v], pos[u])
+		})
+		// Commit. An operation writes only cells it holds the minimum
+		// reservation on, so every write has a unique writer; the only m
+		// reads are of aggregates mapped in earlier passes (stable).
+		par.ForEachChunked(len(queue), p, 512, func(i int) {
+			u := queue[i]
+			switch act[u] {
+			case hecActSingle:
+				m[u] = u
+				if aw != nil {
+					aw[u] = vw(u)
 				}
-				return
-			}
-			// Deadlock prevention for mutual heavy pairs: only the
-			// lower-position endpoint drives the create; the other waits
-			// for its partner (it will be mapped by the partner's create,
-			// or inherit once the partner is mapped some other way).
-			if hv[v] == u && pos[u] > pos[v] && atomic.LoadInt32(&m[v]) == unset {
-				return
-			}
-			if atomic.LoadInt32(&c[u]) != 0 {
-				return
-			}
-			if !atomic.CompareAndSwapInt32(&c[u], 0, v+1) {
-				return
-			}
-			if atomic.CompareAndSwapInt32(&c[v], 0, u+1) {
-				// Create edge: both endpoints were free. An over-cap pair
-				// splits into singletons instead (both endpoints are owned
-				// by this thread at this point).
-				if maxAW > 0 && g.VertexWeight(u)+g.VertexWeight(v) > maxAW {
-					singleton(u)
-					singleton(v)
+			case hecActPair:
+				v := hv[u]
+				if res[u] != pos[u] || res[v] != pos[u] {
 					return
 				}
-				id := atomic.AddInt32(&nc, 1) - 1
-				if maxAW > 0 {
-					atomic.StoreInt64(&aw[id], g.VertexWeight(u)+g.VertexWeight(v))
+				if aw != nil {
+					wu, wv := vw(u), vw(v)
+					if wu+wv > maxAW {
+						// Over-cap pair: both endpoints become singletons
+						// (this operation holds both cells).
+						m[u] = u
+						m[v] = v
+						aw[u] = wu
+						aw[v] = wv
+						return
+					}
+					aw[v] = wu + wv
 				}
-				atomic.StoreInt32(&m[v], id)
-				atomic.StoreInt32(&m[u], id)
-				return
-			}
-			if mv := atomic.LoadInt32(&m[v]); mv != unset {
-				// Inherit edge: partner already carries a coarse id —
-				// join it unless the aggregate is full.
-				if tryJoin(mv, g.VertexWeight(u)) {
-					atomic.StoreInt32(&m[u], mv)
-				} else {
-					singleton(u)
+				m[v] = v
+				m[u] = v
+			case hecActInherit:
+				if aw != nil {
+					return // cap admissions resolve in sorted order below
 				}
-				return
+				if res[u] != pos[u] {
+					return
+				}
+				m[u] = m[hv[u]]
 			}
-			// Partner claimed but not yet mapped: release and retry.
-			atomic.StoreInt32(&c[u], 0)
 		})
+		if aw == nil {
+			// Catch-up wave: a pending vertex whose partner was founded or
+			// claimed this round adopts the partner's aggregate now instead
+			// of waiting a pass. Reads are of post-commit values (stable —
+			// nothing writes m between the waves) and each vertex writes
+			// only its own cell, so the wave is race-free and its outcome
+			// schedule-independent. Two sub-phases keep adoption values
+			// frozen: first gather, then write.
+			par.ForEach(len(queue), p, func(i int) {
+				u := queue[i]
+				if m[u] != unset || act[u] == hecActSingle {
+					res[u] = inf // reuse res as the adoption buffer flag
+					return
+				}
+				if t := m[hv[u]]; t != unset {
+					res[u] = t
+				} else {
+					res[u] = inf
+				}
+			})
+			par.ForEach(len(queue), p, func(i int) {
+				u := queue[i]
+				if m[u] == unset && res[u] != inf {
+					m[u] = res[u]
+				}
+			})
+		} else {
+			hecCapAdmission(g, m, hv, pos, act, aw, maxAW, queue, p)
+		}
 		next := par.Pack(len(queue), p, func(i int) bool {
-			return atomic.LoadInt32(&m[queue[i]]) == unset
+			return m[queue[i]] == unset
 		})
 		remapped := int64(len(queue) - len(next))
 		passMapped = append(passMapped, remapped)
-		// Translate packed indices back to vertex ids.
 		q2 := make([]int32, len(next))
 		par.ForEach(len(next), p, func(i int) {
 			q2[i] = queue[next[i]]
 		})
+		queue = q2
 		if remapped == 0 {
-			// No progress this pass (possible under adversarial
-			// scheduling): finish the residue sequentially.
-			queue = q2
+			// Unreachable given the progress guarantee, but kept as a
+			// backstop: fall through to the sequential residue.
 			break
 		}
-		queue = q2
 	}
 	if len(queue) > 0 {
-		// Sequential cleanup with exact Algorithm 3 semantics.
+		// Sequential residue in permutation order (the queue preserves
+		// it), exact Algorithm 3 semantics with root labels.
 		var cleaned int64
 		for _, u := range queue {
 			if m[u] != unset {
@@ -211,35 +259,99 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			}
 			v := hv[u]
 			if v == u {
-				singleton(u)
+				m[u] = u
+				if aw != nil {
+					aw[u] = vw(u)
+				}
 				cleaned++
 				continue
 			}
 			if m[v] == unset {
-				if maxAW > 0 && g.VertexWeight(u)+g.VertexWeight(v) > maxAW {
-					singleton(u)
+				if aw != nil && vw(u)+vw(v) > maxAW {
+					m[u] = u
+					aw[u] = vw(u)
 					cleaned++
 					continue // v maps on its own turn
 				}
-				id := nc
-				nc++
-				if maxAW > 0 {
-					aw[id] = g.VertexWeight(u) + g.VertexWeight(v)
+				m[v] = v
+				m[u] = v
+				if aw != nil {
+					aw[v] = vw(u) + vw(v)
 				}
-				m[v] = id
-				m[u] = id
 				cleaned += 2
 				continue
 			}
-			if tryJoin(m[v], g.VertexWeight(u)) {
-				m[u] = m[v]
+			if aw != nil {
+				r := m[v]
+				if vw(u) > maxAW || aw[r]+vw(u) > maxAW {
+					m[u] = u
+					aw[u] = vw(u)
+				} else {
+					m[u] = r
+					aw[r] += vw(u)
+				}
 			} else {
-				singleton(u)
+				m[u] = m[v]
 			}
 			cleaned++
 		}
 		passMapped = append(passMapped, cleaned)
 		pass++
 	}
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: pass, PassMapped: passMapped}, nil
+}
+
+// hecCapAdmission resolves this pass's joins under an aggregate-weight cap
+// deterministically: all pending vertices whose heavy neighbor now carries
+// an aggregate are grouped by target root and admitted greedily in
+// permutation order within each group. Sorting by (root, pos) makes the
+// admission order — and thus which joins bounce off the cap — independent
+// of worker count. A vertex heavier than the cap itself is an explicit
+// singleton; the historical tryJoin guard (`cur > 0`) let such a vertex
+// slip into an aggregate whose weight counter was still zero.
+func hecCapAdmission(g *graph.Graph, m, hv, pos []int32, act []int8, aw []int64, maxAW int64, queue []int32, p int) {
+	cand := par.Pack(len(queue), p, func(i int) bool {
+		u := queue[i]
+		return m[u] == unset && act[u] != hecActSingle && m[hv[u]] != unset
+	})
+	if len(cand) == 0 {
+		return
+	}
+	keys := make([]uint64, len(cand))
+	vals := make([]uint64, len(cand))
+	par.ForEach(len(cand), p, func(i int) {
+		u := queue[cand[i]]
+		r := m[hv[u]] // root vertex id of the target aggregate
+		keys[i] = uint64(uint32(r))<<32 | uint64(uint32(pos[u]))
+		vals[i] = uint64(uint32(u))
+	})
+	par.RadixSortPairs(keys, vals, p)
+	// Each worker handles the whole segment whose head it sees; segments
+	// (one per target root) are disjoint, so all writes are exclusive.
+	par.ForEachChunked(len(cand), p, 64, func(i int) {
+		root := int32(keys[i] >> 32)
+		if i > 0 && int32(keys[i-1]>>32) == root {
+			return // not a segment head
+		}
+		w := aw[root]
+		for j := i; j < len(cand) && int32(keys[j]>>32) == root; j++ {
+			u := int32(uint32(vals[j]))
+			wu := g.VertexWeight(u)
+			if wu > maxAW {
+				// Explicit over-weight singleton (see the comment above).
+				m[u] = u
+				aw[u] = wu
+				continue
+			}
+			if w+wu <= maxAW {
+				m[u] = root
+				w += wu
+			} else {
+				m[u] = u
+				aw[u] = wu
+			}
+		}
+		aw[root] = w
+	})
 }

@@ -30,7 +30,7 @@ func (HEC3) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	pos := par.InversePerm(perm, p)
 	hv := heavyNeighbors(g, pos, p)
 	m := hec3FromHeavy(g, hv, pos, p, nil)
-	nc := compactRoots(m)
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
@@ -64,31 +64,42 @@ func hec3FromHeavy(g *graph.Graph, hv, pos []int32, p int, skip []bool) []int32 
 		}
 	})
 
-	// Phase 2 (lines 9-12): mark heavy-edge targets as roots. The CAS can
-	// be skipped when the target is already set, avoiding random writes.
+	// Phase 2 (lines 9-12): mark heavy-edge targets as roots. The
+	// historical version CAS-marked targets but skipped a proposal when the
+	// proposer had itself been marked a root earlier in the same loop, so
+	// the root set depended on thread interleaving. Deciding every proposal
+	// against the frozen phase-1 state (a flag array, as in HEC2) makes the
+	// root set a pure function of (graph, seed). The flag store is atomic
+	// only to license the concurrent same-value writes.
+	x := make([]int32, n)
 	par.ForEach(n, p, func(i int) {
 		u := int32(i)
 		if skip != nil && skip[u] {
 			return
 		}
-		if atomic.LoadInt32(&m[u]) != unset {
-			return
+		if m[u] != unset {
+			return // collapsed mutual pair
 		}
 		v := hv[u]
 		if v == u || (skip != nil && skip[v]) {
 			return
 		}
-		if atomic.LoadInt32(&m[v]) == unset {
-			atomic.CompareAndSwapInt32(&m[v], unset, v)
+		atomic.StoreInt32(&x[v], 1)
+	})
+	par.ForEach(n, p, func(i int) {
+		u := int32(i)
+		if m[u] == unset && x[u] == 1 {
+			m[u] = u
 		}
 	})
 
 	// Phase 3 (lines 13-16): unmapped vertices adopt their target's id.
-	// Targets were all set in phase 2, so this loop reads only finished
-	// values. Vertices excluded from aggregation become singleton roots.
+	// Every proposed target was finalized above (pair member or fresh
+	// root), so this loop reads only finished values. Vertices excluded
+	// from aggregation become singleton roots.
 	par.ForEach(n, p, func(i int) {
 		u := int32(i)
-		if atomic.LoadInt32(&m[u]) != unset {
+		if m[u] != unset {
 			return
 		}
 		v := hv[u]
@@ -96,7 +107,7 @@ func hec3FromHeavy(g *graph.Graph, hv, pos []int32, p int, skip []bool) []int32 
 			m[u] = u
 			return
 		}
-		m[u] = atomic.LoadInt32(&m[v])
+		m[u] = m[v]
 	})
 
 	// Phase 4 (lines 17-21): pointer jumping to the aggregate root.
@@ -158,6 +169,6 @@ func (HEC2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[u] = hv[u] // target is a root by construction
 		}
 	})
-	nc := compactRoots(m)
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }

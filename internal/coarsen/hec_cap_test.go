@@ -96,6 +96,36 @@ func TestHECCapQuickInvariant(t *testing.T) {
 	}
 }
 
+func TestHECCapOverweightVertexIsSingleton(t *testing.T) {
+	// A vertex heavier than the cap can never share an aggregate. The old
+	// tryJoin admitted such a vertex into an aggregate whose weight counter
+	// was still zero (`cur > 0` guard), silently blowing the cap.
+	g := graph.MustFromEdges(3, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 5},
+	})
+	g.MaterializeVWgt()
+	g.VWgt = []int64{3, 20, 3}
+	const cap = 10
+	for seed := uint64(0); seed < 8; seed++ {
+		for _, p := range []int{1, 2, 4} {
+			m, err := HEC{MaxAggWeight: cap}.Map(g, seed, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(g.N()); err != nil {
+				t.Fatal(err)
+			}
+			// Vertex 1 must be alone in its aggregate.
+			if m.M[0] == m.M[1] || m.M[2] == m.M[1] {
+				t.Fatalf("seed %d p=%d: over-weight vertex shares aggregate: %v", seed, p, m.M)
+			}
+			if got := maxAggregateWeight(g, m); got > 20 {
+				t.Fatalf("seed %d p=%d: max agg weight %d", seed, p, got)
+			}
+		}
+	}
+}
+
 func TestHECCapThroughMultilevel(t *testing.T) {
 	// The cap must hold level over level as vertex weights accumulate.
 	g := bigTestGraph(2000, 3)

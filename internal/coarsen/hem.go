@@ -1,8 +1,6 @@
 package coarsen
 
 import (
-	"sync/atomic"
-
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
 )
@@ -21,11 +19,13 @@ func (HEMSeq) Name() string { return "hemseq" }
 func (HEMSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	n := g.N()
 	perm := par.RandPerm(n, seed, p)
+	pos := par.InversePerm(perm, p)
 	m := make([]int32, n)
 	for i := range m {
 		m[i] = unset
 	}
-	var nc int32
+	// Root-vertex labels (the visited vertex anchors its aggregate);
+	// canonicalize turns them into the canonical dense ids.
 	for _, u := range perm {
 		if m[u] != unset {
 			continue
@@ -40,19 +40,20 @@ func (HEMSeq) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			}
 		}
 		if x != unset {
-			m[x] = nc
+			m[x] = u
 		}
-		m[u] = nc
-		nc++
+		m[u] = u
 	}
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
 // HEM is the parallel heavy edge matching (tech-report Algorithm 10),
-// modeled on the lock-free machinery of Algorithm 4 with one distinction:
-// the heaviest neighbor is chosen among unmatched vertices, so the heavy
-// array is recomputed for the unassigned vertices after each pass, and
-// there are no inherit edges — a failed claim always retries.
+// built on the same deterministic reservation rounds as HEC with one
+// distinction: the heaviest neighbor is chosen among unmatched vertices,
+// so the heavy array is recomputed for the unassigned vertices after each
+// pass, and there are no inherit edges — an operation whose partner was
+// matched away simply retries against a fresh H next pass.
 type HEM struct {
 	MaxPasses int // 0 means the default of 64
 }
@@ -62,70 +63,75 @@ func (HEM) Name() string { return "hem" }
 
 // Map implements Mapper.
 func (h HEM) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
-	match, passes, passMapped := hemMatch(g, seed, p, h.MaxPasses, true)
-	m, nc := matchToMapping(match)
+	match, pos, passes, passMapped := hemMatch(g, seed, p, h.MaxPasses, true)
+	m, nc := matchToMapping(match, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: passes, PassMapped: passMapped}, nil
 }
 
-// hemMatch runs parallel HEM passes and returns the match array:
-// match[u] == v and match[v] == u for matched pairs, match[u] == u for
-// singletons, and unset for unmatched vertices. When singletons is true,
-// vertices with no unmatched neighbor are finalized as singletons (plain
-// HEM); when false they are left unmatched for the two-hop phases.
-func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (match []int32, passes int, passMapped []int64) {
+// hemMatch runs the deterministic parallel HEM passes and returns the
+// match array — match[u] == v and match[v] == u for matched pairs,
+// match[u] == u for singletons, unset for unmatched vertices — along with
+// the permutation positions used (for canonical relabeling downstream).
+// When singletons is true, vertices with no unmatched neighbor are
+// finalized as singletons (plain HEM); when false they are left unmatched
+// for the two-hop phases.
+//
+// Each pass is one reservation round: every unmatched vertex u proposes
+// the pair {u, hv[u]} and reserves both cells with an atomic-min on
+// pos[u]; proposals holding the minimum on both cells commit. The winners
+// depend only on (graph, seed), never on scheduling, and the
+// minimum-position pending proposal always commits, so passes make
+// progress until only neighborless vertices remain.
+func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (match, pos []int32, passes int, passMapped []int64) {
 	n := g.N()
 	if maxPasses <= 0 {
 		maxPasses = 64
 	}
 	perm := par.RandPerm(n, seed, p)
-	pos := par.InversePerm(perm, p)
+	pos = par.InversePerm(perm, p)
 
 	match = make([]int32, n)
 	par.Fill(match, unset, p)
-	c := make([]int32, n)
+	res := make([]int32, n)
+	inf := int32(n)
 
 	queue := perm
 	for len(queue) > 0 && passes < maxPasses {
 		passes++
 		hv := heavyUnmatchedNeighbors(g, match, pos, p)
-		// Reset claims for the vertices still in play.
+		// Reservable cells all belong to queued vertices (proposal targets
+		// are unmatched), so resetting the queue's cells covers them.
 		par.ForEach(len(queue), p, func(i int) {
-			c[queue[i]] = 0
+			res[queue[i]] = inf
 		})
 		par.ForEachChunked(len(queue), p, 512, func(i int) {
 			u := queue[i]
-			if atomic.LoadInt32(&match[u]) != unset {
-				return
-			}
 			v := hv[u]
 			if v == u {
-				// No unmatched neighbor. Finalize as singleton (HEM) or
-				// leave for two-hop matching.
-				if singletons && atomic.CompareAndSwapInt32(&c[u], 0, u+1) {
-					atomic.StoreInt32(&match[u], u)
+				return // no unmatched neighbor; handled in the commit wave
+			}
+			par.AtomicMinInt32(&res[u], pos[u])
+			par.AtomicMinInt32(&res[v], pos[u])
+		})
+		par.ForEachChunked(len(queue), p, 512, func(i int) {
+			u := queue[i]
+			v := hv[u]
+			if v == u {
+				// A vertex whose neighbors are all matched can never be
+				// proposed to (a proposer would be its unmatched neighbor),
+				// so finalizing it is always safe.
+				if singletons {
+					match[u] = u
 				}
 				return
 			}
-			if hv[v] == u && pos[u] > pos[v] && atomic.LoadInt32(&match[v]) == unset {
-				return // partner drives mutual pairs
+			if res[u] == pos[u] && res[v] == pos[u] {
+				match[u] = v
+				match[v] = u
 			}
-			if atomic.LoadInt32(&c[u]) != 0 {
-				return
-			}
-			if !atomic.CompareAndSwapInt32(&c[u], 0, v+1) {
-				return
-			}
-			if atomic.CompareAndSwapInt32(&c[v], 0, u+1) {
-				atomic.StoreInt32(&match[v], u)
-				atomic.StoreInt32(&match[u], v)
-				return
-			}
-			// v was claimed by someone else; matching has no inherit
-			// edges, so release and retry next pass with a fresh H.
-			atomic.StoreInt32(&c[u], 0)
 		})
 		next := par.Pack(len(queue), p, func(i int) bool {
-			return atomic.LoadInt32(&match[queue[i]]) == unset
+			return match[queue[i]] == unset
 		})
 		matched := int64(len(queue) - len(next))
 		passMapped = append(passMapped, matched)
@@ -135,9 +141,9 @@ func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (m
 		})
 		queue = q2
 		if matched == 0 {
-			// Remaining vertices form an independent set among the
-			// unmatched (or are livelocked); both cases are terminal for
-			// pure matching.
+			// Only vertices with no unmatched neighbors remain (and
+			// singletons is false, or they would have been finalized);
+			// terminal for pure matching.
 			break
 		}
 	}
@@ -150,25 +156,27 @@ func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (m
 		passMapped = append(passMapped, int64(len(queue)))
 		passes++
 	}
-	return match, passes, passMapped
+	return match, pos, passes, passMapped
 }
 
 // matchToMapping converts a complete match array (no unset entries) into a
-// compact mapping. The root of a pair is the lower vertex id.
-func matchToMapping(match []int32) ([]int32, int32) {
+// canonically labeled compact mapping. The root of a pair is the lower
+// vertex id; canonicalize then relabels by minimum permutation position.
+func matchToMapping(match, pos []int32, p int) ([]int32, int32) {
 	n := len(match)
 	m := make([]int32, n)
-	for u := 0; u < n; u++ {
+	par.ForEach(n, p, func(i int) {
+		u := int32(i)
 		v := match[u]
 		if v == unset {
 			panic("coarsen: matchToMapping on incomplete match")
 		}
-		if v < int32(u) {
+		if v < u {
 			m[u] = v
 		} else {
-			m[u] = int32(u)
+			m[u] = u
 		}
-	}
-	nc := compactRoots(m)
+	})
+	nc := canonicalize(m, pos, p)
 	return m, nc
 }

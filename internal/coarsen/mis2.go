@@ -75,7 +75,9 @@ func (MIS2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[i] = int32(i)
 		}
 	})
-	nc := compactRoots(m)
+	// MIS2 has no random visit permutation, so the canonical order is the
+	// identity: aggregates are numbered by their minimum member vertex id.
+	nc := canonicalize(m, nil, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 

@@ -56,6 +56,15 @@ type Hierarchy struct {
 	Graphs []*graph.Graph
 	Maps   [][]int32
 	Stats  []LevelStats
+
+	// Stalled reports that coarsening stopped because a mapping produced no
+	// reduction (NC >= N), not because the cutoff was reached. HEC2-style
+	// mappers hit this on mutual-matching graphs (Table IV's l = 201 rows
+	// are the paper's version of the same pathology). StallStats then holds
+	// the measurements of the failed attempt — kept separate from Stats so
+	// that Stats[i] still pairs with Graphs[i+1]/Maps[i].
+	Stalled    bool
+	StallStats *LevelStats
 }
 
 // Levels returns the number of coarsening levels (coarse graphs built).
@@ -184,8 +193,15 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 		}
 		t1 := time.Now()
 		if m.NC >= cur.NumV {
-			// Stall: no reduction at all. HEC2-style mappers can hit this
-			// on mutual-matching graphs; stop with what we have.
+			// Stall: no reduction at all. Stop with what we have, but
+			// record the failed attempt so callers can tell "reached the
+			// cutoff" from "gave up" (previously this break was silent).
+			h.Stalled = true
+			h.StallStats = &LevelStats{
+				N: cur.NumV, NC: m.NC, M: cur.M(),
+				MapTime: t1.Sub(t0),
+				Passes:  m.Passes, PassMapped: m.PassMapped,
+			}
 			break
 		}
 		var next *graph.Graph

@@ -203,6 +203,43 @@ func TestCoarsenerHEC2StallStops(t *testing.T) {
 	}
 }
 
+func TestCoarsenerStallIsRecorded(t *testing.T) {
+	// The stall break used to be silent; a stalled run must now be
+	// distinguishable from one that reached the cutoff, with the failed
+	// attempt's measurements preserved.
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}})
+	c := &Coarsener{Mapper: HEC2{}, Builder: BuildSort{}, Seed: 1, Workers: 1, Cutoff: 1}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Stalled {
+		t.Fatal("stalled run not flagged")
+	}
+	st := h.StallStats
+	if st == nil {
+		t.Fatal("stalled run has no StallStats")
+	}
+	if st.N != 2 || st.NC < st.N {
+		t.Errorf("stall stats n=%d nc=%d, want n=2 and nc >= n", st.N, st.NC)
+	}
+	// Stats must still pair with the built levels only.
+	if len(h.Stats) != h.Levels() {
+		t.Errorf("Stats length %d != levels %d", len(h.Stats), h.Levels())
+	}
+
+	// A run that reaches the cutoff is not stalled.
+	g2 := bigTestGraph(500, 5)
+	c2 := &Coarsener{Mapper: HEC{}, Builder: BuildSort{}, Seed: 1, Workers: 2}
+	h2, err := c2.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Stalled || h2.StallStats != nil {
+		t.Error("cutoff run wrongly flagged as stalled")
+	}
+}
+
 func TestCoarsenerWeightedInput(t *testing.T) {
 	// Starting from an already-weighted graph (as if resuming mid-
 	// hierarchy): weights and vertex weights must flow through intact.

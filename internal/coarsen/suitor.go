@@ -81,7 +81,10 @@ func (Suitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		parallelSuitor(g, suitor, ws, pos, p)
 	}
 
-	// Mutual suitors are matched; everything else is a singleton.
+	// Mutual suitors are matched; everything else is a singleton. The
+	// matching itself is schedule-independent — proposals resolve to the
+	// unique greedy-by-(weight, pos) matching regardless of interleaving —
+	// so canonical relabeling pins the labels too.
 	m := make([]int32, n)
 	for u := int32(0); int(u) < n; u++ {
 		if v := suitor[u]; v != unset && suitor[v] == u && v < u {
@@ -90,7 +93,7 @@ func (Suitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[u] = u
 		}
 	}
-	nc := compactRoots(m)
+	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
 
@@ -137,8 +140,11 @@ func parallelSuitor(g *graph.Graph, suitor []int32, ws []int64, pos []int32, p i
 			var dislodged int32 = unset
 			if ok {
 				dislodged = cur
-				suitor[best] = u
-				ws[best] = bw
+				// Atomic stores so the unlocked filter reads above never
+				// race with in-progress updates; ordering still comes from
+				// the lock.
+				atomic.StoreInt32(&suitor[best], u)
+				atomic.StoreInt64(&ws[best], bw)
 			}
 			unlock(best)
 			if !ok {

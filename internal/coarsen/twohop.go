@@ -1,8 +1,6 @@
 package coarsen
 
 import (
-	"sync/atomic"
-
 	"mlcg/internal/graph"
 	"mlcg/internal/par"
 )
@@ -42,7 +40,7 @@ func (t TwoHop) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	if maxTwinDeg <= 0 {
 		maxTwinDeg = 64
 	}
-	match, passes, passMapped := hemMatch(g, seed, p, t.MaxPasses, false)
+	match, pos, passes, passMapped := hemMatch(g, seed, p, t.MaxPasses, false)
 
 	unmatchedRatio := func() float64 {
 		if n == 0 {
@@ -58,7 +56,7 @@ func (t TwoHop) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		twinMatch(g, match, p, maxTwinDeg, seed)
 	}
 	if unmatchedRatio() > threshold {
-		relativeMatch(g, match, p)
+		relativeMatch(g, match, pos, p)
 	}
 	// Whatever is still unmatched becomes a singleton.
 	par.ForEach(n, p, func(i int) {
@@ -66,7 +64,7 @@ func (t TwoHop) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			match[i] = int32(i)
 		}
 	})
-	m, nc := matchToMapping(match)
+	m, nc := matchToMapping(match, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: passes, PassMapped: passMapped}, nil
 }
 
@@ -196,43 +194,70 @@ func sameAdjacency(g *graph.Graph, u, v int32, buf1, buf2 *[]int32) bool {
 }
 
 // relativeMatch pairs unmatched vertices that share any neighbor
-// (tech-report Algorithm 13). Each center vertex scans its adjacency for
-// unmatched vertices and pairs them two at a time; a CAS-claimed flag per
-// vertex keeps centers that share candidates from pairing the same vertex
-// twice.
-func relativeMatch(g *graph.Graph, match []int32, p int) {
+// (tech-report Algorithm 13), deterministically. The historical version
+// CAS-claimed candidates, so which center paired a shared candidate
+// depended on thread interleaving. Here every unmatched vertex instead
+// elects a unique owner — its minimum-position neighbor that could act as
+// a center (at least two unmatched neighbors) — and each center then pairs
+// exactly the candidates it owns, in adjacency order. Ownership is a pure
+// function of the frozen match state, so the pairing is identical for
+// every worker count; writes are exclusive because owners partition the
+// candidates.
+func relativeMatch(g *graph.Graph, match, pos []int32, p int) {
 	n := g.N()
-	claim := make([]int32, n)
-	par.ForEachChunked(n, p, 128, func(i int) {
+	// unmatchedDeg[v]: how many unmatched neighbors v has, against the
+	// frozen pre-phase match state.
+	unmatchedDeg := make([]int32, n)
+	par.ForEachChunked(n, p, 256, func(i int) {
 		v := int32(i)
 		adj, _ := g.Neighbors(v)
-		if len(adj) < 2 {
+		var c int32
+		for _, u := range adj {
+			if match[u] == unset {
+				c++
+			}
+		}
+		unmatchedDeg[v] = c
+	})
+	// owner[u]: the elected center for unmatched u, or unset.
+	owner := make([]int32, n)
+	par.ForEachChunked(n, p, 256, func(i int) {
+		u := int32(i)
+		owner[u] = unset
+		if match[u] != unset {
 			return
 		}
+		adj, _ := g.Neighbors(u)
+		best := unset
+		for _, v := range adj {
+			if unmatchedDeg[v] >= 2 && (best == unset || pos[v] < pos[best]) {
+				best = v
+			}
+		}
+		owner[u] = best
+	})
+	// Each center pairs its owned candidates two at a time. A center may
+	// itself be a candidate owned elsewhere; it only ever writes its owned
+	// cells (never its own), so the writes stay exclusive, and a pair of
+	// owned candidates always shares the center as a common neighbor.
+	par.ForEachChunked(n, p, 128, func(i int) {
+		v := int32(i)
+		if unmatchedDeg[v] < 2 {
+			return
+		}
+		adj, _ := g.Neighbors(v)
 		prev := unset
 		for _, u := range adj {
-			if atomic.LoadInt32(&match[u]) != unset {
-				continue
-			}
-			if !atomic.CompareAndSwapInt32(&claim[u], 0, 1) {
-				continue
-			}
-			// Claim can race with a concurrent match of u through another
-			// path; re-check after claiming.
-			if atomic.LoadInt32(&match[u]) != unset {
-				atomic.StoreInt32(&claim[u], 0)
+			if owner[u] != v {
 				continue
 			}
 			if prev == unset {
 				prev = u
 				continue
 			}
-			atomic.StoreInt32(&match[prev], u)
-			atomic.StoreInt32(&match[u], prev)
+			match[prev] = u
+			match[u] = prev
 			prev = unset
-		}
-		if prev != unset {
-			atomic.StoreInt32(&claim[prev], 0) // release the odd one out
 		}
 	})
 }

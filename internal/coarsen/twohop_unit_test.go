@@ -113,7 +113,7 @@ func TestRelativeMatchPairsThroughSharedNeighbor(t *testing.T) {
 	// 1 and 2 share neighbor 0 but are not adjacent; both unmatched.
 	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}})
 	match := []int32{0, unset, unset}
-	relativeMatch(g, match, 1)
+	relativeMatch(g, match, []int32{0, 1, 2}, 1)
 	if match[1] != 2 || match[2] != 1 {
 		t.Errorf("relatives not matched: %v", match)
 	}
@@ -133,7 +133,11 @@ func TestRelativeMatchNoDoubleClaim(t *testing.T) {
 		match[i] = unset
 	}
 	match[0], match[1] = 0, 1
-	relativeMatch(g, match, 4)
+	pos := make([]int32, 12)
+	for i := range pos {
+		pos[i] = int32(i)
+	}
+	relativeMatch(g, match, pos, 4)
 	for u := int32(2); u < 12; u++ {
 		if v := match[u]; v != unset && match[v] != u {
 			t.Fatalf("asymmetric match %d -> %d -> %d", u, v, match[v])

@@ -1,0 +1,22 @@
+package par
+
+import "sync/atomic"
+
+// AtomicMinInt32 lowers *addr to v if v is smaller, atomically. The final
+// value of a cell hammered by concurrent AtomicMinInt32 calls is the minimum
+// over all proposed values — min is commutative and associative, so the
+// result is independent of the interleaving. This order-insensitivity is
+// what makes the deterministic-reservation protocols in internal/coarsen
+// schedule-independent: reservations race, but the winner does not depend
+// on who raced first.
+func AtomicMinInt32(addr *int32, v int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if cur <= v {
+			return
+		}
+		if atomic.CompareAndSwapInt32(addr, cur, v) {
+			return
+		}
+	}
+}

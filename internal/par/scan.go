@@ -95,6 +95,55 @@ func PrefixSumInt32(dst []int64, src []int32, p int) int64 {
 	return total
 }
 
+// ExclusiveScanInt32 computes the exclusive prefix sum of src into dst
+// (dst[i] = src[0] + ... + src[i-1]) and returns the total. dst and src
+// must have equal length and may alias — the scan is safe in place, which
+// saves the second buffer when the input counters are no longer needed.
+// The caller guarantees the total fits in int32 (true for any 0/1 flag
+// array of addressable length).
+func ExclusiveScanInt32(dst, src []int32, p int) int32 {
+	n := len(src)
+	if len(dst) != n {
+		panic("par: ExclusiveScanInt32 needs len(dst) == len(src)")
+	}
+	p = Workers(p, n)
+	if n == 0 {
+		return 0
+	}
+	if p == 1 || n < 4096 {
+		var sum int32
+		for i := 0; i < n; i++ {
+			v := src[i]
+			dst[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	blockSums := make([]int32, p)
+	For(n, p, func(w, lo, hi int) {
+		var sum int32
+		for i := lo; i < hi; i++ {
+			sum += src[i]
+		}
+		blockSums[w] = sum
+	})
+	var total int32
+	for w := 0; w < p; w++ {
+		s := blockSums[w]
+		blockSums[w] = total
+		total += s
+	}
+	For(n, p, func(w, lo, hi int) {
+		sum := blockSums[w]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = sum
+			sum += v
+		}
+	})
+	return total
+}
+
 // MergeHistograms is the segmented cross-worker prefix sum behind the
 // contention-free two-phase scatter: hists holds one bin-count histogram
 // per worker (each of length nc), and for every bin a the call replaces
