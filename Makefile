@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism fuzz bench bench-construct tables figures verify clean
+.PHONY: all build test race test-determinism fuzz bench bench-construct tables figures trace verify clean
 
 all: build test
 
@@ -36,7 +36,14 @@ bench:
 # against a baseline checkout.
 bench-construct:
 	$(GO) test -run='^$$' -bench=BenchmarkBuildConstruct -benchmem -count=10 .
-	$(GO) run ./cmd/mlcg-tables -construct -runs 7
+	$(GO) run ./cmd/mlcg-tables -construct -runs 7 -metrics
+
+# Kernel-level trace of a representative coarsening run: writes a Chrome
+# trace_event file (load it at chrome://tracing or https://ui.perfetto.dev),
+# prints the metrics dump, and validates the trace structure.
+trace:
+	$(GO) run ./cmd/mlcg-coarsen -gen rmat -trace /tmp/mlcg-trace.json -metrics
+	$(GO) run ./cmd/mlcg-tracecheck -coarsen /tmp/mlcg-trace.json
 
 # Regenerate the paper's tables and figures (writes to stdout).
 tables:

@@ -42,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verify := fs.Bool("verify", false, "validate every coarse graph and (for strict schemes) aggregate connectivity")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the coarsening run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the coarsening run to this file")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics dump (spans, counters, imbalance) after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,13 +69,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	stopObs, err := cli.StartObs(*tracePath, *metrics, stdout)
+	if err != nil {
+		return fail(err)
+	}
 	c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
 	h, err := c.Run(g)
 	if perr := stopProfiles(); perr != nil {
 		return fail(perr)
 	}
+	if oerr := stopObs(); oerr != nil {
+		return fail(oerr)
+	}
 	if err != nil {
 		return fail(err)
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
 
 	s := g.ComputeStats()

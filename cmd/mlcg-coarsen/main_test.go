@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mlcg/internal/obs"
 )
 
 func runCLI(t *testing.T, args ...string) (string, string, int) {
@@ -74,6 +76,31 @@ func TestRunErrors(t *testing.T) {
 		if _, _, code := runCLI(t, args...); code == 0 {
 			t.Errorf("args %v: expected failure", args)
 		}
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.json")
+	out, errs, code := runCLI(t, "-gen", "trimesh", "-trace", trace, "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errs)
+	}
+	if err := obs.CheckTraceFile(trace, obs.CheckOptions{RequireCoarsen: true}); err != nil {
+		t.Fatalf("trace validation: %v", err)
+	}
+	for _, want := range []string{"trace written to", "== counters (whole trace) ==", "cas_retries", "hash_probes", "imb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The metrics dump appears even without a trace file.
+	out, _, code = runCLI(t, "-gen", "grid2d", "-metrics")
+	if code != 0 {
+		t.Fatalf("metrics-only exit %d", code)
+	}
+	if !strings.Contains(out, "== kernels (by total busy) ==") {
+		t.Error("metrics-only run missing kernel rollup")
 	}
 }
 

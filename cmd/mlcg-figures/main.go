@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"mlcg/internal/bench"
+	"mlcg/internal/cli"
 	"mlcg/internal/coarsen"
 )
 
@@ -24,7 +25,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, w, stderr io.Writer) int {
+func run(args []string, w, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("mlcg-figures", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "figure number to regenerate (1-3)")
@@ -36,9 +37,25 @@ func run(args []string, w, stderr io.Writer) int {
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	seed := fs.Uint64("seed", 0, "random seed (0 = default)")
 	only := fs.String("only", "", "comma-separated instance names to restrict the suite")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the figure runs to this file")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics dump after the figure runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopObs, err := cli.StartObs(*tracePath, *metrics, w)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlcg-figures:", err)
+		return 1
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(stderr, "mlcg-figures:", oerr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	opt := bench.Options{Runs: *runs, Workers: *workers, Scale: *scale, Seed: *seed}
 	if *only != "" {

@@ -27,7 +27,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("mlcg-partition", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input graph file")
@@ -43,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 20210517, "random seed")
 	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "write the part vector (one id per line) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the partitioning run to this file")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics dump after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,6 +53,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mlcg-partition:", err)
 		return 1
 	}
+
+	stopObs, err := cli.StartObs(*tracePath, *metrics, stdout)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(stderr, "mlcg-partition:", oerr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	g, err := cli.LoadOrGenerate(*in, *format, *genName, *seed)
 	if err != nil {

@@ -6,6 +6,7 @@
 //
 //	mlcg-suite -dir /tmp/suite -format metis
 //	mlcg-suite -dir /tmp/suite -format binary -scale 2
+//	mlcg-suite -dir /tmp/suite -stallcheck -metrics
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 
 	"mlcg/internal/cli"
+	"mlcg/internal/coarsen"
 	"mlcg/internal/gen"
 )
 
@@ -30,8 +32,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "metis", "output format: "+cli.Formats())
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	seed := fs.Uint64("seed", 20210517, "generation seed")
+	workers := fs.Int("workers", 0, "parallelism for -stallcheck (0 = GOMAXPROCS)")
+	stallcheck := fs.Bool("stallcheck", false, "coarsen every instance (HEC + sort) and report levels/stalls per row")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of suite generation to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after generation) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the -stallcheck runs to this file")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics dump after the -stallcheck runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -44,16 +50,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	stopObs, err := cli.StartObs(*tracePath, *metrics, stdout)
+	if err != nil {
+		return fail(err)
+	}
 	// main exits via os.Exit, which skips defers — finish the profiles
 	// explicitly rather than deferring.
-	code := export(*dir, *format, *scale, *seed, stdout, fail)
+	code := export(*dir, *format, *scale, *seed, *workers, *stallcheck, stdout, fail)
 	if perr := stopProfiles(); perr != nil && code == 0 {
 		return fail(perr)
+	}
+	if oerr := stopObs(); oerr != nil && code == 0 {
+		return fail(oerr)
+	}
+	if code == 0 && *tracePath != "" {
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
 	return code
 }
 
-func export(dir, format string, scale int, seed uint64, stdout io.Writer, fail func(error) int) int {
+func export(dir, format string, scale int, seed uint64, workers int, stallcheck bool, stdout io.Writer, fail func(error) int) int {
 	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[format]
 	if ext == "" {
 		return fail(fmt.Errorf("unknown format %q (want %s)", format, cli.Formats()))
@@ -63,7 +79,11 @@ func export(dir, format string, scale int, seed uint64, stdout io.Writer, fail f
 	}
 
 	suite := gen.Suite(gen.SuiteOptions{Scale: scale, Seed: seed})
-	fmt.Fprintf(stdout, "%-14s %-6s %10s %10s %10s  %s\n", "Graph", "Group", "n", "m", "skew", "file")
+	coaHdr := ""
+	if stallcheck {
+		coaHdr = fmt.Sprintf(" %-18s", "coarsen")
+	}
+	fmt.Fprintf(stdout, "%-14s %-6s %10s %10s %10s %s %s\n", "Graph", "Group", "n", "m", "skew", coaHdr, "file")
 	for _, inst := range suite {
 		path := filepath.Join(dir, inst.Name+ext)
 		if err := cli.WriteGraph(inst.Graph, path, format); err != nil {
@@ -73,8 +93,23 @@ func export(dir, format string, scale int, seed uint64, stdout io.Writer, fail f
 		if inst.Skewed {
 			group = "skewed"
 		}
+		coa := ""
+		if stallcheck {
+			// A stalled hierarchy is not an error — the point of the column
+			// is to make stalls visible instead of silently dropping them.
+			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: coarsen.BuildSort{}, Seed: seed, Workers: workers}
+			h, err := c.Run(inst.Graph)
+			if err != nil {
+				return fail(fmt.Errorf("%s: %w", inst.Name, err))
+			}
+			if h.Stalled {
+				coa = fmt.Sprintf(" %-18s", fmt.Sprintf("STALL(l=%d,p=%d)", h.Levels(), h.StallStats.Passes))
+			} else {
+				coa = fmt.Sprintf(" %-18s", fmt.Sprintf("ok(l=%d,cr=%.2f)", h.Levels(), h.CoarseningRatio()))
+			}
+		}
 		s := inst.Graph.ComputeStats()
-		fmt.Fprintf(stdout, "%-14s %-6s %10d %10d %10.1f  %s\n", inst.Name, group, s.N, s.M, s.Skew, path)
+		fmt.Fprintf(stdout, "%-14s %-6s %10d %10d %10.1f %s %s\n", inst.Name, group, s.N, s.M, s.Skew, coa, path)
 	}
 	return 0
 }

@@ -42,6 +42,31 @@ func TestRunExportsSuite(t *testing.T) {
 	}
 }
 
+func TestRunStallcheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coarsens the whole suite")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", dir, "-stallcheck", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "coarsen") {
+		t.Error("stallcheck column header missing")
+	}
+	// Every row must surface the coarsening outcome — ok or STALL.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, ".graph") && !strings.Contains(line, "ok(") && !strings.Contains(line, "STALL(") {
+			t.Errorf("row without coarsen outcome: %q", line)
+		}
+	}
+	if !strings.Contains(s, "== counters (whole trace) ==") {
+		t.Error("metrics dump missing")
+	}
+}
+
 func TestRunBadFormat(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-format", "nope"}, &out, &errb); code == 0 {

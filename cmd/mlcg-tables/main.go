@@ -18,13 +18,14 @@ import (
 	"strings"
 
 	"mlcg/internal/bench"
+	"mlcg/internal/cli"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, w, stderr io.Writer) int {
+func run(args []string, w, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("mlcg-tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.Int("table", 0, "table number to regenerate (1-6)")
@@ -42,9 +43,25 @@ func run(args []string, w, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "random seed (0 = default)")
 	only := fs.String("only", "", "comma-separated instance names to restrict the suite")
 	asJSON := fs.Bool("json", false, "emit rows as JSON instead of formatted tables")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the table runs to this file")
+	metrics := fs.Bool("metrics", false, "print the kernel metrics dump after the table runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	stopObs, err := cli.StartObs(*tracePath, *metrics, w)
+	if err != nil {
+		fmt.Fprintln(stderr, "mlcg-tables:", err)
+		return 1
+	}
+	defer func() {
+		if oerr := stopObs(); oerr != nil {
+			fmt.Fprintln(stderr, "mlcg-tables:", oerr)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	opt := bench.Options{Runs: *runs, Workers: *workers, Scale: *scale, Seed: *seed}
 	if *only != "" {

@@ -1,0 +1,50 @@
+// mlcg-tracecheck validates Chrome trace_event JSON files produced by the
+// -trace flag of the other tools: every event must be a well-formed
+// complete ("X") event and the events on each thread must nest laminarly.
+// With -coarsen it additionally requires the span structure a coarsening
+// run emits (level spans containing map: and build: phases), which is what
+// CI runs against a generator graph.
+//
+// Usage:
+//
+//	mlcg-coarsen -gen grid2d -trace out.json
+//	mlcg-tracecheck -coarsen out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mlcg/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlcg-tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coarsenTrace := fs.Bool("coarsen", false, "require the coarsening span structure (level/map/build spans)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "mlcg-tracecheck: need at least one trace file")
+		fs.Usage()
+		return 2
+	}
+	opt := obs.CheckOptions{RequireCoarsen: *coarsenTrace}
+	code := 0
+	for _, path := range fs.Args() {
+		if err := obs.CheckTraceFile(path, opt); err != nil {
+			fmt.Fprintf(stderr, "mlcg-tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok\n", path)
+	}
+	return code
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"mlcg/internal/coarsen"
 )
@@ -30,8 +31,12 @@ func FormatTable23(w io.Writer, rows []Table2Row, device string) {
 	emit := func(skewed bool, label string) {
 		for _, r := range rows {
 			if r.Skewed == skewed {
-				fmt.Fprintf(w, "%-14s %9.3f %7.0f %9.2f %9.2f\n",
-					r.Name, r.Tc.Seconds(), r.GrCoPct, r.HashRatio, r.SpGEMMRatio)
+				mark := ""
+				if r.Stalled {
+					mark = "  [stalled]"
+				}
+				fmt.Fprintf(w, "%-14s %9.3f %7.0f %9.2f %9.2f%s\n",
+					r.Name, r.Tc.Seconds(), r.GrCoPct, r.HashRatio, r.SpGEMMRatio, mark)
 			}
 		}
 		sel := func(f func(Table2Row) float64) float64 {
@@ -75,10 +80,14 @@ func FormatTable4(w io.Writer, rows []Table4Row) {
 	emit := func(skewed bool, label string) {
 		for _, r := range rows {
 			if r.Skewed == skewed {
-				fmt.Fprintf(w, "%-14s | %6.2f %8.2f %6.2f %6.2f | %4d %4d %5d %5d %5d | %6.2f %6.2f\n",
+				mark := ""
+				if len(r.Stalls) > 0 {
+					mark = "  [stalled: " + strings.Join(r.Stalls, ",") + "]"
+				}
+				fmt.Fprintf(w, "%-14s | %6.2f %8.2f %6.2f %6.2f | %4d %4d %5d %5d %5d | %6.2f %6.2f%s\n",
 					r.Name, r.HEMRatio, r.MtMetisRatio, r.GOSHRatio, r.MIS2Ratio,
 					r.LevHEC, r.LevHEM, r.LevMtMetis, r.LevGOSH, r.LevMIS2,
-					r.CrHEC, r.CrMtMetis)
+					r.CrHEC, r.CrMtMetis, mark)
 			}
 		}
 		sel := func(f func(Table4Row) float64) float64 {

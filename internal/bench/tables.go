@@ -43,6 +43,10 @@ type Table2Row struct {
 	// HashRatio and SpGEMMRatio are construction-time ratios
 	// t_GrCo-alt / t_GrCo-sort (> 1 means sort wins).
 	HashRatio, SpGEMMRatio float64
+	// Stalled reports that at least one measured hierarchy ended in a
+	// mapping stall (its partial times are still included in Tc via
+	// Hierarchy.TotalTime, which counts StallStats).
+	Stalled bool
 }
 
 // Table23 measures HEC-based coarsening with sort/hash/SpGEMM
@@ -57,6 +61,7 @@ func Table23(opt Options, workers int) []Table2Row {
 		g := inst.Graph
 		// Per run, record (construction, total) as a pair and report the
 		// run with the median total, so %GrCo is internally consistent.
+		stalled := false
 		buildTime := func(b coarsen.Builder) (time.Duration, time.Duration) {
 			type pair struct{ build, total time.Duration }
 			ps := make([]pair, runs)
@@ -65,6 +70,7 @@ func Table23(opt Options, workers int) []Table2Row {
 				if err != nil {
 					panic(err)
 				}
+				stalled = stalled || h.Stalled
 				ps[i] = pair{h.BuildTime(), h.TotalTime()}
 			}
 			sort.Slice(ps, func(a, c int) bool { return ps[a].total < ps[c].total })
@@ -81,6 +87,7 @@ func Table23(opt Options, workers int) []Table2Row {
 			GrCoPct:     100 * float64(sortBT) / float64(sortTotal),
 			HashRatio:   float64(hashBT) / float64(sortBT),
 			SpGEMMRatio: float64(spgemmBT) / float64(sortBT),
+			Stalled:     stalled,
 		})
 	}
 	return rows
@@ -161,6 +168,9 @@ type Table4Row struct {
 	LevHEC, LevHEM, LevMtMetis, LevGOSH, LevMIS2 int
 	// Average coarsening ratios for HEC and mt-Metis coarsening.
 	CrHEC, CrMtMetis float64
+	// Stalls names the methods whose hierarchy ended in a mapping stall,
+	// instead of silently dropping Hierarchy.Stalled.
+	Stalls []string
 }
 
 // Table4 measures the alternative mapping methods against HEC with
@@ -171,6 +181,7 @@ func Table4(opt Options) []Table4Row {
 	var rows []Table4Row
 	for _, inst := range opt.Suite() {
 		g := inst.Graph
+		var stalls []string
 		measure := func(m coarsen.Mapper) (time.Duration, int, float64) {
 			var h *coarsen.Hierarchy
 			t := medianDuration(runs, func() {
@@ -180,6 +191,9 @@ func Table4(opt Options) []Table4Row {
 					panic(err)
 				}
 			})
+			if h.Stalled {
+				stalls = append(stalls, m.Name())
+			}
 			return t, h.Levels(), h.CoarseningRatio()
 		}
 		tHEC, lHEC, crHEC := measure(coarsen.HEC{})
@@ -195,6 +209,7 @@ func Table4(opt Options) []Table4Row {
 			MIS2Ratio:    float64(tMIS2) / float64(tHEC),
 			LevHEC:       lHEC, LevHEM: lHEM, LevMtMetis: lMt, LevGOSH: lGOSH, LevMIS2: lMIS2,
 			CrHEC: crHEC, CrMtMetis: crMt,
+			Stalls: stalls,
 		})
 	}
 	return rows

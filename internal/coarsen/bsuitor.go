@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -82,6 +83,7 @@ func (bs BSuitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 
 	// Mutual proposals form the b-matching; aggregates are its connected
 	// components (paths/cycles for b=2), found by union-find.
+	span := obs.StartKernel("bsuitor:components")
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = int32(i)
@@ -114,6 +116,7 @@ func (bs BSuitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	for u := int32(0); int(u) < n; u++ {
 		m[u] = find(u)
 	}
+	span.Done()
 	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
@@ -146,6 +149,8 @@ func bsuitorLists(g *graph.Graph, seed uint64, p, b int) ([]suitorList, []int32)
 	// lists exactly like parallelSuitor; coarsening cost is dominated by
 	// construction, so the sequential matcher keeps this variant simple
 	// and deterministic).
+	span := obs.StartKernel("bsuitor:propose")
+	defer span.Done()
 	stack := make([]int32, 0, 64)
 	nextWork := func() int32 {
 		if len(stack) > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -173,10 +174,13 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 	bounds := ws.bounds
 
 	// Aggregate vertex weights.
+	span := obs.StartKernel("cons:vwgt")
 	vwgt := aggregateVertexWeights(ws, g, mv, nc, p, bounds)
+	span.Done()
 
 	// Step 1: upper-bound coarse degrees C' (both-sided counts) via
 	// per-worker histograms.
+	span = obs.StartKernel("cons:count")
 	hists := ws.histograms(p, nc)
 	par.ForRanges(bounds, func(w, lo, hi int) {
 		h := hists[w]
@@ -193,6 +197,7 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 	})
 	cEst := growI32(&ws.cEst, nc)
 	par.MergeHistograms(hists, cEst, p)
+	span.Done()
 
 	oneSided := mode == sideOne
 	// writeHere reports whether the directed fine edge (u, v) is placed in
@@ -214,6 +219,7 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 	// one-sided mode recount with the one-sided filter.
 	cnt := cEst
 	if oneSided {
+		span = obs.StartKernel("cons:recount")
 		hists = ws.histograms(p, nc)
 		par.ForRanges(bounds, func(w, lo, hi int) {
 			h := hists[w]
@@ -231,6 +237,7 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 		})
 		cnt = growI32(&ws.cnt, nc)
 		par.MergeHistograms(hists, cnt, p)
+		span.Done()
 	}
 
 	// Step 3: offsets.
@@ -239,6 +246,7 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 
 	// Step 4: scatter adjacencies and weights into precomputed windows —
 	// worker w owns [r[a]+hists[w][a], ...) of bin a.
+	span = obs.StartKernel("cons:scatter")
 	f := growI32(&ws.binF, int(total))
 	x := growI64(&ws.binX, int(total))
 	par.ForRanges(bounds, func(w, lo, hi int) {
@@ -259,6 +267,7 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 			}
 		}
 	})
+	span.Done()
 
 	// Step 5: per-vertex deduplication.
 	newCnt := dedup(ws, f, x, r, cnt, p)
@@ -266,10 +275,13 @@ func buildVertexCentric(ws *Workspace, g *graph.Graph, m *Mapping, p int, mode s
 	// Step 6: final CSR, with the transpose merge in one-sided mode.
 	var cg *graph.Graph
 	if oneSided {
+		span = obs.StartKernel("cons:symmetrize")
 		cg = symmetrizeDeduped(ws, f, x, r, newCnt, nc, p, dedup)
 	} else {
+		span = obs.StartKernel("cons:compact")
 		cg = compactDeduped(f, x, r, newCnt, nc, p)
 	}
+	span.Done()
 	cg.VWgt = vwgt
 	return cg, nil
 }
@@ -351,6 +363,8 @@ func symmetrizeDeduped(ws *Workspace, f []int32, x []int64, r []int64, newCnt []
 // keys by summing weights (the bitonic/radix team sort of the paper,
 // realized as insertion sort for short lists and LSD radix above).
 func dedupSortSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+	span := obs.StartKernel("dedup:sort")
+	defer span.Done()
 	nc := len(cnt)
 	newCnt := growI32(&ws.newCnt, nc)
 	p = par.Workers(p, nc)
@@ -385,12 +399,15 @@ func dedupSortSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int
 // of the segment size alone, so the slot layout — and therefore the
 // unsorted output order — is deterministic for any worker count.
 func dedupHashSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+	span := obs.StartKernel("dedup:hash")
+	defer span.Done()
 	nc := len(cnt)
 	newCnt := growI32(&ws.newCnt, nc)
 	p = par.Workers(p, nc)
 	tables := ws.tablesFor(p)
 	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
 		ht := tables[wid]
+		defer ht.flushCounters()
 		for a := aLo; a < aHi; a++ {
 			lo := r[a]
 			hi := lo + int64(cnt[a])
@@ -429,6 +446,20 @@ type weightTable struct {
 	stamp []uint64
 	epoch uint64
 	cap   int // logical capacity for the current segment (power of two)
+
+	// probes/collisions accumulate locally (plain adds, one per slot
+	// inspection) and reach the obs layer only via flushCounters, so add()
+	// itself never touches shared state.
+	probes     int64
+	collisions int64
+}
+
+// flushCounters reports and clears the accumulated probe statistics.
+// Callers flush once per parallel chunk, not per segment.
+func (t *weightTable) flushCounters() {
+	obs.Add(obs.CtrHashProbe, t.probes)
+	obs.Add(obs.CtrHashCollision, t.collisions)
+	t.probes, t.collisions = 0, 0
 }
 
 func newWeightTable(capacity int) *weightTable {
@@ -462,6 +493,7 @@ func (t *weightTable) add(k int32, v int64) {
 	mask := uint32(t.cap - 1)
 	s := (uint32(k) * 2654435761) & mask
 	for {
+		t.probes++
 		if t.stamp[s] != t.epoch {
 			t.stamp[s] = t.epoch
 			t.keys[s] = k
@@ -472,6 +504,7 @@ func (t *weightTable) add(k int32, v int64) {
 			t.vals[s] += v
 			return
 		}
+		t.collisions++
 		s = (s + 1) & mask
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -57,6 +58,8 @@ func (h *pairHeap) Pop() interface{} {
 // and draining in key order into a per-worker scratch buffer, merging
 // duplicates.
 func dedupHeapSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p int) []int32 {
+	span := obs.StartKernel("dedup:heap")
+	defer span.Done()
 	nc := len(cnt)
 	newCnt := growI32(&ws.newCnt, nc)
 	p = par.Workers(p, nc)
@@ -143,6 +146,8 @@ func (b BuildHybrid) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int)
 
 // dedupHybridSegments picks sort or hash per segment by length.
 func dedupHybridSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []int32, p, cutover int) []int32 {
+	span := obs.StartKernel("dedup:hybrid")
+	defer span.Done()
 	nc := len(cnt)
 	newCnt := growI32(&ws.newCnt, nc)
 	p = par.Workers(p, nc)
@@ -150,6 +155,7 @@ func dedupHybridSegments(ws *Workspace, f []int32, x []int64, r []int64, cnt []i
 	scratch := ws.sortScratchFor(p)
 	par.ForChunked(nc, p, 64, func(wid, aLo, aHi int) {
 		ht := tables[wid]
+		defer ht.flushCounters()
 		sc := scratch[wid]
 		for a := aLo; a < aHi; a++ {
 			lo := r[a]

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -28,7 +29,9 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 	ws.bounds = par.BalancedRanges(ws.bounds, g.Xadj, p)
 	bounds := ws.bounds
 
+	span := obs.StartKernel("cons:vwgt")
 	vwgt := aggregateVertexWeights(ws, g, mv, nc, p, bounds)
+	span.Done()
 
 	oneSided := mode == sideOne
 	keyBufs, wgtBufs := ws.pairBufsFor(p)
@@ -64,6 +67,7 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 	}
 
 	// Step 1: upper-bound coarse degrees over merged entries.
+	span = obs.StartKernel("cons:count")
 	hists := ws.histograms(p, nc)
 	par.ForRanges(bounds, func(w, lo, hi int) {
 		h := hists[w]
@@ -75,6 +79,7 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 	})
 	cEst := growI32(&ws.cEst, nc)
 	par.MergeHistograms(hists, cEst, p)
+	span.Done()
 
 	writeHere := func(a, b int32) bool {
 		if !oneSided {
@@ -90,6 +95,7 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 	// (already converted to per-worker offsets by MergeHistograms).
 	cnt := cEst
 	if oneSided {
+		span = obs.StartKernel("cons:recount")
 		hists = ws.histograms(p, nc)
 		par.ForRanges(bounds, func(w, lo, hi int) {
 			h := hists[w]
@@ -106,11 +112,13 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 		})
 		cnt = growI32(&ws.cnt, nc)
 		par.MergeHistograms(hists, cnt, p)
+		span.Done()
 	}
 
 	// Step 3 + 4: offsets and contention-free scatter.
 	r := growI64(&ws.r, nc+1)
 	total := par.PrefixSumInt32(r, cnt, p)
+	span = obs.StartKernel("cons:scatter")
 	f := growI32(&ws.binF, int(total))
 	x := growI64(&ws.binX, int(total))
 	par.ForRanges(bounds, func(w, lo, hi int) {
@@ -130,15 +138,19 @@ func buildVertexCentricPre(ws *Workspace, g *graph.Graph, m *Mapping, p int, mod
 			}
 		}
 	})
+	span.Done()
 
 	// Steps 5 + 6: per-coarse-vertex dedup and finalization.
 	newCnt := dedup(ws, f, x, r, cnt, p)
 	var cg *graph.Graph
 	if oneSided {
+		span = obs.StartKernel("cons:symmetrize")
 		cg = symmetrizeDeduped(ws, f, x, r, newCnt, nc, p, dedup)
 	} else {
+		span = obs.StartKernel("cons:compact")
 		cg = compactDeduped(f, x, r, newCnt, nc, p)
 	}
+	span.Done()
 	cg.VWgt = vwgt
 	return cg, nil
 }

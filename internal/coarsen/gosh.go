@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -53,6 +54,7 @@ func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	// the seed, then by id (radix sort is stable), so ranks are unique.
 	// rank[u] is u's visit position — it plays the role pos[] plays for
 	// the permutation-driven mappers, including in the canonical relabel.
+	span := obs.StartKernel("gosh:rank")
 	keys := make([]uint64, n)
 	vals := make([]uint64, n)
 	par.ForEach(n, p, func(i int) {
@@ -66,6 +68,8 @@ func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	par.ForEach(n, p, func(i int) {
 		rank[vals[i]] = int32(i)
 	})
+	span.Done()
+	span = obs.StartKernel("gosh:aggregate")
 
 	// Phase 1: centers. u becomes a center when no neighbor that could
 	// claim it (hub–hub edges never claim) outranks it — the vertices the
@@ -152,6 +156,7 @@ func (gm GOSH) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[i] = int32(i)
 		}
 	})
+	span.Done()
 	nc := canonicalize(m, rank, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }
@@ -201,6 +206,7 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	}
 
 	// Phase 1: centers = local priority maxima (independent set).
+	span := obs.StartKernel("goshhec:aggregate")
 	m := make([]int32, n)
 	par.Fill(m, unset, p)
 	par.ForEachChunked(n, p, 256, func(i int) {
@@ -280,6 +286,7 @@ func (gm GOSHHEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[i] = int32(i)
 		}
 	})
+	span.Done()
 	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -19,6 +20,8 @@ import (
 //
 // Vertices with no neighbors get H[u] = u.
 func heavyNeighbors(g *graph.Graph, pos []int32, p int) []int32 {
+	span := obs.StartKernel("heavy-neighbors")
+	defer span.Done()
 	n := g.N()
 	h := make([]int32, n)
 	par.ForEachChunked(n, p, 256, func(i int) {
@@ -46,6 +49,8 @@ func heavyNeighbors(g *graph.Graph, pos []int32, p int) []int32 {
 // vertex looks for its heaviest still-unmatched neighbor. Vertices that
 // are matched, or whose neighbors are all matched, get H[u] = u.
 func heavyUnmatchedNeighbors(g *graph.Graph, match, pos []int32, p int) []int32 {
+	span := obs.StartKernel("heavy-unmatched")
+	defer span.Done()
 	n := g.N()
 	h := make([]int32, n)
 	par.ForEachChunked(n, p, 256, func(i int) {

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -110,9 +111,11 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	if maxPasses <= 0 {
 		maxPasses = 64
 	}
+	setup := obs.StartKernel("hec:setup")
 	perm := par.RandPerm(n, seed, p)
 	pos := par.InversePerm(perm, p)
 	hv := heavyNeighbors(g, pos, p)
+	setup.Done()
 
 	m := make([]int32, n)
 	par.Fill(m, unset, p)
@@ -139,6 +142,7 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	pass := 0
 	for len(queue) > 0 && pass < maxPasses {
 		pass++
+		span := obs.StartKernel("hec:pass")
 		// Reset reservations. Every reservable cell belongs to a queued
 		// vertex (pair partners are unmapped, hence queued), so resetting
 		// res[u] for u in the queue covers them all with exclusive writes.
@@ -146,63 +150,80 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			res[queue[i]] = inf
 		})
 		// Classify and reserve. m is frozen during this phase, so the
-		// inherit-vs-pair decision reads stable values.
-		par.ForEachChunked(len(queue), p, 512, func(i int) {
-			u := queue[i]
-			v := hv[u]
-			if v == u {
-				act[u] = hecActSingle
-				return
+		// inherit-vs-pair decision reads stable values. Reservation issue and
+		// CAS-retry counts are batched per chunk and flushed to the ambient
+		// span in one call, so the uninstrumented cost is a register add.
+		par.ForChunked(len(queue), p, 512, func(_, lo, hi int) {
+			var reserves, retries int64
+			for i := lo; i < hi; i++ {
+				u := queue[i]
+				v := hv[u]
+				if v == u {
+					act[u] = hecActSingle
+					continue
+				}
+				if m[v] != unset {
+					act[u] = hecActInherit
+					retries += par.AtomicMinInt32Retries(&res[u], pos[u])
+					reserves++
+					continue
+				}
+				act[u] = hecActPair
+				retries += par.AtomicMinInt32Retries(&res[u], pos[u])
+				retries += par.AtomicMinInt32Retries(&res[v], pos[u])
+				reserves += 2
 			}
-			if m[v] != unset {
-				act[u] = hecActInherit
-				par.AtomicMinInt32(&res[u], pos[u])
-				return
-			}
-			act[u] = hecActPair
-			par.AtomicMinInt32(&res[u], pos[u])
-			par.AtomicMinInt32(&res[v], pos[u])
+			obs.Add(obs.CtrReserve, reserves)
+			obs.Add(obs.CtrCASRetry, retries)
 		})
 		// Commit. An operation writes only cells it holds the minimum
 		// reservation on, so every write has a unique writer; the only m
 		// reads are of aggregates mapped in earlier passes (stable).
-		par.ForEachChunked(len(queue), p, 512, func(i int) {
-			u := queue[i]
-			switch act[u] {
-			case hecActSingle:
-				m[u] = u
-				if aw != nil {
-					aw[u] = vw(u)
-				}
-			case hecActPair:
-				v := hv[u]
-				if res[u] != pos[u] || res[v] != pos[u] {
-					return
-				}
-				if aw != nil {
-					wu, wv := vw(u), vw(v)
-					if wu+wv > maxAW {
-						// Over-cap pair: both endpoints become singletons
-						// (this operation holds both cells).
-						m[u] = u
-						m[v] = v
-						aw[u] = wu
-						aw[v] = wv
-						return
+		par.ForChunked(len(queue), p, 512, func(_, lo, hi int) {
+			var commits int64
+			for i := lo; i < hi; i++ {
+				u := queue[i]
+				switch act[u] {
+				case hecActSingle:
+					m[u] = u
+					if aw != nil {
+						aw[u] = vw(u)
 					}
-					aw[v] = wu + wv
+					commits++
+				case hecActPair:
+					v := hv[u]
+					if res[u] != pos[u] || res[v] != pos[u] {
+						continue
+					}
+					if aw != nil {
+						wu, wv := vw(u), vw(v)
+						if wu+wv > maxAW {
+							// Over-cap pair: both endpoints become singletons
+							// (this operation holds both cells).
+							m[u] = u
+							m[v] = v
+							aw[u] = wu
+							aw[v] = wv
+							commits++
+							continue
+						}
+						aw[v] = wu + wv
+					}
+					m[v] = v
+					m[u] = v
+					commits++
+				case hecActInherit:
+					if aw != nil {
+						continue // cap admissions resolve in sorted order below
+					}
+					if res[u] != pos[u] {
+						continue
+					}
+					m[u] = m[hv[u]]
+					commits++
 				}
-				m[v] = v
-				m[u] = v
-			case hecActInherit:
-				if aw != nil {
-					return // cap admissions resolve in sorted order below
-				}
-				if res[u] != pos[u] {
-					return
-				}
-				m[u] = m[hv[u]]
 			}
+			obs.Add(obs.CtrCommit, commits)
 		})
 		if aw == nil {
 			// Catch-up wave: a pending vertex whose partner was founded or
@@ -243,6 +264,7 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			q2[i] = queue[next[i]]
 		})
 		queue = q2
+		span.Done()
 		if remapped == 0 {
 			// Unreachable given the progress guarantee, but kept as a
 			// backstop: fall through to the sequential residue.
@@ -252,6 +274,7 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	if len(queue) > 0 {
 		// Sequential residue in permutation order (the queue preserves
 		// it), exact Algorithm 3 semantics with root labels.
+		span := obs.StartKernel("hec:residue")
 		var cleaned int64
 		for _, u := range queue {
 			if m[u] != unset {
@@ -297,6 +320,7 @@ func (h HEC) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		}
 		passMapped = append(passMapped, cleaned)
 		pass++
+		span.Done()
 	}
 	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: pass, PassMapped: passMapped}, nil

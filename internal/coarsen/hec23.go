@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -40,6 +41,8 @@ func (HEC3) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 // some other vertex targets them. The returned slice maps each vertex to
 // its aggregate's root vertex id (m[r] == r for roots).
 func hec3FromHeavy(g *graph.Graph, hv, pos []int32, p int, skip []bool) []int32 {
+	span := obs.StartKernel("hec3:pseudoforest")
+	defer span.Done()
 	n := g.N()
 	m := make([]int32, n)
 	par.Fill(m, unset, p)
@@ -146,6 +149,7 @@ func (HEC2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 
 	// X[v] = 1 when some vertex proposes to v (v must become a root);
 	// Y assigns root flags without racing on M.
+	span := obs.StartKernel("hec2:roots")
 	x := make([]int32, n)
 	par.ForEach(n, p, func(i int) {
 		u := int32(i)
@@ -169,6 +173,7 @@ func (HEC2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[u] = hv[u] // target is a root by construction
 		}
 	})
+	span.Done()
 	nc := canonicalize(m, pos, p)
 	return &Mapping{M: m, NC: nc, Passes: 1, PassMapped: []int64{int64(n)}}, nil
 }

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -98,37 +99,52 @@ func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (m
 	queue := perm
 	for len(queue) > 0 && passes < maxPasses {
 		passes++
+		span := obs.StartKernel("hem:pass")
 		hv := heavyUnmatchedNeighbors(g, match, pos, p)
 		// Reservable cells all belong to queued vertices (proposal targets
 		// are unmatched), so resetting the queue's cells covers them.
 		par.ForEach(len(queue), p, func(i int) {
 			res[queue[i]] = inf
 		})
-		par.ForEachChunked(len(queue), p, 512, func(i int) {
-			u := queue[i]
-			v := hv[u]
-			if v == u {
-				return // no unmatched neighbor; handled in the commit wave
-			}
-			par.AtomicMinInt32(&res[u], pos[u])
-			par.AtomicMinInt32(&res[v], pos[u])
-		})
-		par.ForEachChunked(len(queue), p, 512, func(i int) {
-			u := queue[i]
-			v := hv[u]
-			if v == u {
-				// A vertex whose neighbors are all matched can never be
-				// proposed to (a proposer would be its unmatched neighbor),
-				// so finalizing it is always safe.
-				if singletons {
-					match[u] = u
+		// Reservation issue and CAS-retry counts batch per chunk (one
+		// flush each — free when tracing is off).
+		par.ForChunked(len(queue), p, 512, func(_, lo, hi int) {
+			var reserves, retries int64
+			for i := lo; i < hi; i++ {
+				u := queue[i]
+				v := hv[u]
+				if v == u {
+					continue // no unmatched neighbor; handled in the commit wave
 				}
-				return
+				retries += par.AtomicMinInt32Retries(&res[u], pos[u])
+				retries += par.AtomicMinInt32Retries(&res[v], pos[u])
+				reserves += 2
 			}
-			if res[u] == pos[u] && res[v] == pos[u] {
-				match[u] = v
-				match[v] = u
+			obs.Add(obs.CtrReserve, reserves)
+			obs.Add(obs.CtrCASRetry, retries)
+		})
+		par.ForChunked(len(queue), p, 512, func(_, lo, hi int) {
+			var commits int64
+			for i := lo; i < hi; i++ {
+				u := queue[i]
+				v := hv[u]
+				if v == u {
+					// A vertex whose neighbors are all matched can never be
+					// proposed to (a proposer would be its unmatched neighbor),
+					// so finalizing it is always safe.
+					if singletons {
+						match[u] = u
+						commits++
+					}
+					continue
+				}
+				if res[u] == pos[u] && res[v] == pos[u] {
+					match[u] = v
+					match[v] = u
+					commits++
+				}
 			}
+			obs.Add(obs.CtrCommit, commits)
 		})
 		next := par.Pack(len(queue), p, func(i int) bool {
 			return match[queue[i]] == unset
@@ -140,6 +156,7 @@ func hemMatch(g *graph.Graph, seed uint64, p, maxPasses int, singletons bool) (m
 			q2[i] = queue[next[i]]
 		})
 		queue = q2
+		span.Done()
 		if matched == 0 {
 			// Only vertices with no unmatched neighbors remain (and
 			// singletons is false, or they would have been finalized);

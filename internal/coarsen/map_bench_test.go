@@ -3,6 +3,7 @@ package coarsen
 import (
 	"testing"
 
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -37,6 +38,40 @@ func benchMapWithRenumber(b *testing.B, mapper Mapper) {
 		for i := 0; i < b.N; i++ {
 			canonicalize(labels, pos, p)
 		}
+	})
+}
+
+// BenchmarkObsOverhead measures the cost of the obs instrumentation on a
+// full multilevel coarsening run: "disabled" is the production path (every
+// span/counter call is a nil-check), "enabled" runs with an active trace.
+// The acceptance target is a disabled-path throughput delta within noise
+// (≤2% vs. the pre-instrumentation baseline); the enabled-path cost is
+// reported for the record, not bounded.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := bigTestGraph(100000, 5)
+	run := func(b *testing.B) {
+		c := &Coarsener{Mapper: HEC{}, Builder: BuildSort{}, Seed: 42}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Run(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		if obs.Enabled() {
+			b.Fatal("trace unexpectedly active")
+		}
+		b.ReportAllocs()
+		run(b)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := obs.StartTrace("bench")
+		if tr == nil {
+			b.Fatal("could not start trace")
+		}
+		defer tr.Stop()
+		b.ReportAllocs()
+		run(b)
 	})
 }
 

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -26,7 +27,10 @@ const (
 // Map implements Mapper.
 func (MIS2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 	n := g.N()
+	span := obs.StartKernel("mis2:select")
 	state := mis2States(g, seed, p)
+	span.Done()
+	span = obs.StartKernel("mis2:aggregate")
 	key := make([]uint64, n)
 	par.ForEach(n, p, func(i int) {
 		key[i] = par.Mix64(seed ^ uint64(i)*0x9e3779b97f4a7c15)
@@ -75,6 +79,7 @@ func (MIS2) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 			m[i] = int32(i)
 		}
 	})
+	span.Done()
 	// MIS2 has no random visit permutation, so the canonical order is the
 	// identity: aggregates are numbered by their minimum member vertex id.
 	nc := canonicalize(m, nil, p)

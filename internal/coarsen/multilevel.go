@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -47,7 +48,18 @@ type LevelStats struct {
 	Passes    int
 	// PassMapped mirrors Mapping.PassMapped for this level.
 	PassMapped []int64
+
+	// Span is the level's obs span (nil unless a trace was active during
+	// Run). Its children are the map/build phase spans with per-kernel
+	// wall/busy times; kept here so callers can drill into a level without
+	// walking the whole trace tree.
+	Span *obs.Span
 }
+
+// Counters returns the level's subtree-aggregated obs counter totals by
+// stable name (cas_retries, hash_probes, ...). Nil when the level was run
+// without an active trace.
+func (s *LevelStats) Counters() map[string]int64 { return s.Span.Counters() }
 
 // Hierarchy is the output of multilevel coarsening: Graphs[0] is the input
 // graph and Graphs[i] the i-th coarse graph; Maps[i] maps the vertices of
@@ -73,20 +85,29 @@ func (h *Hierarchy) Levels() int { return len(h.Graphs) - 1 }
 // Coarsest returns the last graph of the hierarchy.
 func (h *Hierarchy) Coarsest() *graph.Graph { return h.Graphs[len(h.Graphs)-1] }
 
-// MapTime returns the total time spent in the mapping phase.
+// MapTime returns the total time spent in the mapping phase, including a
+// stalled final attempt: a stall still pays for its mapping pass, and the
+// Table II/III timings must account for it.
 func (h *Hierarchy) MapTime() time.Duration {
 	var t time.Duration
 	for _, s := range h.Stats {
 		t += s.MapTime
 	}
+	if h.StallStats != nil {
+		t += h.StallStats.MapTime
+	}
 	return t
 }
 
-// BuildTime returns the total time spent constructing coarse graphs.
+// BuildTime returns the total time spent constructing coarse graphs
+// (including any build time recorded on a stalled attempt).
 func (h *Hierarchy) BuildTime() time.Duration {
 	var t time.Duration
 	for _, s := range h.Stats {
 		t += s.BuildTime
+	}
+	if h.StallStats != nil {
+		t += h.StallStats.BuildTime
 	}
 	return t
 }
@@ -186,23 +207,37 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 		ws = NewWorkspace()
 	}
 	for cur.N() > cutoff && h.Levels() < maxLevels {
+		// Span names are only built when a trace is active, so the disabled
+		// path stays allocation-free (the Enabled check is one pointer load).
+		var lvl, phase *obs.Span
+		if obs.Enabled() {
+			lvl = obs.StartKernel(fmt.Sprintf("level %d", h.Levels()))
+			phase = obs.StartKernel("map:" + c.Mapper.Name())
+		}
 		t0 := time.Now()
 		m, err := c.Mapper.Map(cur, c.Seed+uint64(h.Levels()), c.Workers)
+		t1 := time.Now()
+		phase.Done()
 		if err != nil {
+			lvl.Done()
 			return nil, fmt.Errorf("coarsen: level %d mapping: %w", h.Levels()+1, err)
 		}
-		t1 := time.Now()
 		if m.NC >= cur.NumV {
 			// Stall: no reduction at all. Stop with what we have, but
 			// record the failed attempt so callers can tell "reached the
 			// cutoff" from "gave up" (previously this break was silent).
+			lvl.Done()
 			h.Stalled = true
 			h.StallStats = &LevelStats{
 				N: cur.NumV, NC: m.NC, M: cur.M(),
 				MapTime: t1.Sub(t0),
 				Passes:  m.Passes, PassMapped: m.PassMapped,
+				Span: lvl,
 			}
 			break
+		}
+		if lvl != nil {
+			phase = obs.StartKernel("build:" + c.Builder.Name())
 		}
 		var next *graph.Graph
 		if reuse {
@@ -210,10 +245,12 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 		} else {
 			next, err = c.Builder.Build(cur, m, c.Workers)
 		}
+		t2 := time.Now()
+		phase.Done()
+		lvl.Done()
 		if err != nil {
 			return nil, fmt.Errorf("coarsen: level %d construction: %w", h.Levels()+1, err)
 		}
-		t2 := time.Now()
 		if discard > 0 && cur.N() > cutoff && next.N() < discard {
 			// Over-aggressive final step: discard the coarsest graph.
 			break
@@ -222,6 +259,7 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 			N: cur.NumV, NC: m.NC, M: cur.M(),
 			MapTime: t1.Sub(t0), BuildTime: t2.Sub(t1),
 			Passes: m.Passes, PassMapped: m.PassMapped,
+			Span: lvl,
 		})
 		h.Graphs = append(h.Graphs, next)
 		h.Maps = append(h.Maps, m.M)

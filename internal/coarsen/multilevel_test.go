@@ -2,8 +2,10 @@ package coarsen
 
 import (
 	"testing"
+	"time"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -237,6 +239,91 @@ func TestCoarsenerStallIsRecorded(t *testing.T) {
 	}
 	if h2.Stalled || h2.StallStats != nil {
 		t.Error("cutoff run wrongly flagged as stalled")
+	}
+}
+
+func TestTotalTimeIncludesStallTime(t *testing.T) {
+	// Regression: TotalTime() used to sum Stats only, so a stalled
+	// attempt's map/build time vanished from the Table II/III totals.
+	h := &Hierarchy{
+		Stats: []LevelStats{
+			{MapTime: 10 * time.Millisecond, BuildTime: 5 * time.Millisecond},
+			{MapTime: 4 * time.Millisecond, BuildTime: 1 * time.Millisecond},
+		},
+		Stalled:    true,
+		StallStats: &LevelStats{MapTime: 7 * time.Millisecond, BuildTime: 3 * time.Millisecond},
+	}
+	if got, want := h.MapTime(), 21*time.Millisecond; got != want {
+		t.Errorf("MapTime = %v, want %v", got, want)
+	}
+	if got, want := h.BuildTime(), 9*time.Millisecond; got != want {
+		t.Errorf("BuildTime = %v, want %v", got, want)
+	}
+	if got, want := h.TotalTime(), 30*time.Millisecond; got != want {
+		t.Errorf("TotalTime = %v, want %v", got, want)
+	}
+
+	// An end-to-end stalled run must report a positive total even with
+	// zero built levels.
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: 1}})
+	c := &Coarsener{Mapper: HEC2{}, Builder: BuildSort{}, Seed: 1, Workers: 1, Cutoff: 1}
+	hr, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hr.Stalled || hr.TotalTime() <= 0 {
+		t.Errorf("stalled run: Stalled=%v TotalTime=%v, want stalled with positive total", hr.Stalled, hr.TotalTime())
+	}
+}
+
+func TestRunRecordsLevelSpans(t *testing.T) {
+	tr := obs.StartTrace("test")
+	if tr == nil {
+		t.Fatal("could not start trace")
+	}
+	defer tr.Stop()
+	g := bigTestGraph(2000, 11)
+	c := &Coarsener{Mapper: HEC{}, Builder: BuildHash{}, Seed: 3, Workers: 2}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Levels() == 0 {
+		t.Fatal("no levels built")
+	}
+	for i, st := range h.Stats {
+		if st.Span == nil {
+			t.Fatalf("level %d: no span recorded", i)
+		}
+		kids := st.Span.Children()
+		if len(kids) < 2 {
+			t.Fatalf("level %d: %d phase spans, want map+build", i, len(kids))
+		}
+		if got := kids[0].Name(); got != "map:hec" {
+			t.Errorf("level %d: first phase %q, want map:hec", i, got)
+		}
+		if got := kids[1].Name(); got != "build:hash" {
+			t.Errorf("level %d: second phase %q, want build:hash", i, got)
+		}
+		ctr := st.Counters()
+		if ctr == nil {
+			t.Fatalf("level %d: no counters", i)
+		}
+		if ctr["reservations"] == 0 {
+			t.Errorf("level %d: no HEC reservations counted (got %v)", i, ctr)
+		}
+		if ctr["hash_probes"] == 0 {
+			t.Errorf("level %d: no hash probes counted (got %v)", i, ctr)
+		}
+	}
+	// Without a trace, the view methods must be nil-safe no-ops.
+	tr.Stop()
+	h2, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Stats[0].Span != nil || h2.Stats[0].Counters() != nil {
+		t.Error("untraced run recorded spans")
 	}
 }
 

@@ -1,6 +1,7 @@
 package coarsen
 
 import (
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -50,6 +51,8 @@ func canonicalize(m []int32, pos []int32, p int) int32 {
 	// minPos[a] holds minpos(a)-n in [-n, -1] with 0 meaning "no member
 	// seen": the zero value make() provides is then already the identity
 	// of min, which saves the explicit +inf fill pass.
+	span := obs.StartKernel("canonicalize")
+	defer span.Done()
 	nn := int32(n)
 	minPos := make([]int32, n)
 	switch {
@@ -71,15 +74,19 @@ func canonicalize(m []int32, pos []int32, p int) int32 {
 		}
 	case pos == nil:
 		par.For(n, p, func(_, lo, hi int) {
+			var retries int64
 			for i := lo; i < hi; i++ {
-				par.AtomicMinInt32(&minPos[m[i]], int32(i)-nn)
+				retries += par.AtomicMinInt32Retries(&minPos[m[i]], int32(i)-nn)
 			}
+			obs.Add(obs.CtrCASRetry, retries)
 		})
 	default:
 		par.For(n, p, func(_, lo, hi int) {
+			var retries int64
 			for i := lo; i < hi; i++ {
-				par.AtomicMinInt32(&minPos[m[i]], pos[i]-nn)
+				retries += par.AtomicMinInt32Retries(&minPos[m[i]], pos[i]-nn)
 			}
+			obs.Add(obs.CtrCASRetry, retries)
 		})
 	}
 	flag := make([]int32, n) // zeroed by make

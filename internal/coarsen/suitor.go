@@ -1,9 +1,11 @@
 package coarsen
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -101,59 +103,76 @@ func (Suitor) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 // inspect-and-update of (suitor[v], ws[v]) happens under a per-vertex spin
 // lock, exactly as in the multithreaded algorithm of the original paper.
 func parallelSuitor(g *graph.Graph, suitor []int32, ws []int64, pos []int32, p int) {
+	span := obs.StartKernel("suitor:propose")
+	defer span.Done()
 	n := g.N()
 	locks := make([]int32, n)
-	lock := func(v int32) {
-		for !atomic.CompareAndSwapInt32(&locks[v], 0, 1) {
+	// Spin iterations batch into a per-chunk counter (suitor_spins) flushed
+	// once per chunk; the common uncontended acquire adds one register add.
+	par.ForChunked(n, p, 256, func(_, lo, hi int) {
+		var spins int64
+		lock := func(v int32) {
+			for !atomic.CompareAndSwapInt32(&locks[v], 0, 1) {
+				spins++
+				// Yield so the lock holder can run: with fewer OS threads
+				// than workers (or under the race detector) a pure spin
+				// starves the holder and livelocks the pass.
+				runtime.Gosched()
+			}
 		}
-	}
-	unlock := func(v int32) { atomic.StoreInt32(&locks[v], 0) }
+		unlock := func(v int32) { atomic.StoreInt32(&locks[v], 0) }
+		for i := lo; i < hi; i++ {
+			suitorPropose(g, suitor, ws, pos, int32(i), lock, unlock)
+		}
+		obs.Add(obs.CtrSuitorSpin, spins)
+	})
+}
 
-	par.ForEachChunked(n, p, 256, func(i int) {
-		u := int32(i)
-		for u != unset {
-			adj, wgt := g.Neighbors(u)
-			best := unset
-			var bw int64 = -1
-			for k, v := range adj {
-				w := wgt[k]
-				// Unlocked reads are a heuristic filter; the decision is
-				// re-checked under the lock. The filter must use the same
-				// tie-break as the lock-side test (positional comparison
-				// of proposers), otherwise equal-weight proposals that
-				// would win on the tie-break get dropped and mutual pairs
-				// never form.
-				if w > bw || (w == bw && (best == unset || pos[v] < pos[best])) {
-					cw := atomic.LoadInt64(&ws[v])
-					cur := atomic.LoadInt32(&suitor[v])
-					if w > cw || (w == cw && (cur == unset || pos[u] < pos[cur])) {
-						best, bw = v, w
-					}
+// suitorPropose runs one vertex's proposal chain (including re-proposals of
+// dislodged suitors) under the caller's per-vertex lock functions.
+func suitorPropose(g *graph.Graph, suitor []int32, ws []int64, pos []int32, u int32, lock, unlock func(v int32)) {
+	for u != unset {
+		adj, wgt := g.Neighbors(u)
+		best := unset
+		var bw int64 = -1
+		for k, v := range adj {
+			w := wgt[k]
+			// Unlocked reads are a heuristic filter; the decision is
+			// re-checked under the lock. The filter must use the same
+			// tie-break as the lock-side test (positional comparison
+			// of proposers), otherwise equal-weight proposals that
+			// would win on the tie-break get dropped and mutual pairs
+			// never form.
+			if w > bw || (w == bw && (best == unset || pos[v] < pos[best])) {
+				cw := atomic.LoadInt64(&ws[v])
+				cur := atomic.LoadInt32(&suitor[v])
+				if w > cw || (w == cw && (cur == unset || pos[u] < pos[cur])) {
+					best, bw = v, w
 				}
 			}
-			if best == unset {
-				return
-			}
-			lock(best)
-			cur := suitor[best]
-			ok := bw > ws[best] || (bw == ws[best] && (cur == unset || pos[u] < pos[cur]))
-			var dislodged int32 = unset
-			if ok {
-				dislodged = cur
-				// Atomic stores so the unlocked filter reads above never
-				// race with in-progress updates; ordering still comes from
-				// the lock.
-				atomic.StoreInt32(&suitor[best], u)
-				atomic.StoreInt64(&ws[best], bw)
-			}
-			unlock(best)
-			if !ok {
-				// Retry: this proposal lost; look for the next-best
-				// target in the following loop iteration by continuing
-				// with the same u (the filter will now skip best).
-				continue
-			}
-			u = dislodged
 		}
-	})
+		if best == unset {
+			return
+		}
+		lock(best)
+		cur := suitor[best]
+		ok := bw > ws[best] || (bw == ws[best] && (cur == unset || pos[u] < pos[cur]))
+		var dislodged int32 = unset
+		if ok {
+			dislodged = cur
+			// Atomic stores so the unlocked filter reads above never
+			// race with in-progress updates; ordering still comes from
+			// the lock.
+			atomic.StoreInt32(&suitor[best], u)
+			atomic.StoreInt64(&ws[best], bw)
+		}
+		unlock(best)
+		if !ok {
+			// Retry: this proposal lost; look for the next-best
+			// target in the following loop iteration by continuing
+			// with the same u (the filter will now skip best).
+			continue
+		}
+		u = dislodged
+	}
 }

@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -50,13 +51,19 @@ func (t TwoHop) Map(g *graph.Graph, seed uint64, p int) (*Mapping, error) {
 		return float64(c) / float64(n)
 	}
 	if unmatchedRatio() > threshold {
+		span := obs.StartKernel("twohop:leaf")
 		leafMatch(g, match, p)
+		span.Done()
 	}
 	if unmatchedRatio() > threshold {
+		span := obs.StartKernel("twohop:twin")
 		twinMatch(g, match, p, maxTwinDeg, seed)
+		span.Done()
 	}
 	if unmatchedRatio() > threshold {
+		span := obs.StartKernel("twohop:relative")
 		relativeMatch(g, match, pos, p)
+		span.Done()
 	}
 	// Whatever is still unmatched becomes a singleton.
 	par.ForEach(n, p, func(i int) {

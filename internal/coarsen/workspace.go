@@ -2,6 +2,7 @@ package coarsen
 
 import (
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/par"
 )
 
@@ -58,9 +59,18 @@ type Workspace struct {
 // are retained for reuse.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// The grow helpers report arena effectiveness to the obs layer: bytes
+// served from retained buffers (workspace_bytes_reused) vs. freshly
+// allocated (workspace_bytes_alloc). A reuse ratio near 1 in steady state
+// is the arena working as designed; allocations recurring past the first
+// level mean a buffer is being resized every level.
+
 func growI32(buf *[]int32, n int) []int32 {
 	if cap(*buf) < n {
 		*buf = make([]int32, n)
+		obs.Add(obs.CtrWSBytesAlloc, int64(n)*4)
+	} else {
+		obs.Add(obs.CtrWSBytesReused, int64(n)*4)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -69,6 +79,9 @@ func growI32(buf *[]int32, n int) []int32 {
 func growI64(buf *[]int64, n int) []int64 {
 	if cap(*buf) < n {
 		*buf = make([]int64, n)
+		obs.Add(obs.CtrWSBytesAlloc, int64(n)*8)
+	} else {
+		obs.Add(obs.CtrWSBytesReused, int64(n)*8)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -77,6 +90,9 @@ func growI64(buf *[]int64, n int) []int64 {
 func growU64(buf *[]uint64, n int) []uint64 {
 	if cap(*buf) < n {
 		*buf = make([]uint64, n)
+		obs.Add(obs.CtrWSBytesAlloc, int64(n)*8)
+	} else {
+		obs.Add(obs.CtrWSBytesReused, int64(n)*8)
 	}
 	*buf = (*buf)[:n]
 	return *buf

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event entry. The exporter emits only
+// complete events ("ph": "X"), which chrome://tracing and Perfetto nest by
+// time containment, so the span tree renders as a flame graph without
+// explicit parent links.
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds since trace epoch
+	Dur  float64                `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of the trace_event spec.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the trace as Chrome trace_event JSON, one complete
+// event per span. Per-span counters (nonzero, own — not subtree) and
+// per-worker busy times land in the event's args so they show in the
+// trace viewer's detail pane.
+func (t *Trace) WriteTrace(w io.Writer) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("obs: WriteTrace on empty trace")
+	}
+	var events []traceEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		ev := traceEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   float64(s.start) / float64(time.Microsecond),
+			Dur:  float64(s.Wall()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		}
+		args := map[string]interface{}{}
+		own := s.ownCounters()
+		for c, v := range own {
+			if v != 0 {
+				args[counterNames[c]] = v
+			}
+		}
+		if busy := s.Busy(); len(busy) > 0 {
+			ns := make([]int64, len(busy))
+			for i, b := range busy {
+				ns[i] = int64(b)
+			}
+			args["busy_ns"] = ns
+			if imb := s.Imbalance(); imb > 0 {
+				args["imbalance"] = imb
+			}
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+// WriteTraceFile writes the Chrome trace to the given path.
+func (t *Trace) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := t.WriteTrace(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetrics prints the flat human-readable metrics dump: the span tree
+// with wall time, summed busy time, worker count and imbalance per span,
+// followed by the full counter table (every named counter, zero or not, so
+// the dump's schema is stable across runs).
+func (t *Trace) WriteMetrics(w io.Writer) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("obs: WriteMetrics on empty trace")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "== spans ==\n")
+	fmt.Fprintf(bw, "%-44s %12s %12s %7s %6s\n", "span", "wall", "busy", "workers", "imb")
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		busy := s.Busy()
+		var sum time.Duration
+		for _, b := range busy {
+			sum += b
+		}
+		imb := "-"
+		if v := s.Imbalance(); v > 0 {
+			imb = fmt.Sprintf("%.2f", v)
+		}
+		workers := "-"
+		if len(busy) > 0 {
+			workers = fmt.Sprintf("%d", len(busy))
+		}
+		fmt.Fprintf(bw, "%-44s %12s %12s %7s %6s\n",
+			indent+s.name, fmtDur(s.Wall()), fmtDur(sum), workers, imb)
+		for _, c := range s.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+
+	fmt.Fprintf(bw, "\n== counters (whole trace) ==\n")
+	totals := t.Root.CounterTotals()
+	for c := Counter(0); c < numCounters; c++ {
+		fmt.Fprintf(bw, "%-28s %d\n", counterNames[c], totals[c])
+	}
+
+	// Kernel rollup: total busy and worst imbalance per kernel name, so a
+	// skewed kernel is visible without scanning the tree.
+	type roll struct {
+		wall, busy time.Duration
+		calls      int
+		worstImb   float64
+	}
+	rollup := map[string]*roll{}
+	var acc func(s *Span)
+	acc = func(s *Span) {
+		busy := s.Busy()
+		if len(busy) > 0 {
+			r := rollup[s.name]
+			if r == nil {
+				r = &roll{}
+				rollup[s.name] = r
+			}
+			r.calls++
+			r.wall += s.Wall()
+			for _, b := range busy {
+				r.busy += b
+			}
+			if imb := s.Imbalance(); imb > r.worstImb {
+				r.worstImb = imb
+			}
+		}
+		for _, c := range s.Children() {
+			acc(c)
+		}
+	}
+	acc(t.Root)
+	if len(rollup) > 0 {
+		names := make([]string, 0, len(rollup))
+		for n := range rollup {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return rollup[names[i]].busy > rollup[names[j]].busy })
+		fmt.Fprintf(bw, "\n== kernels (by total busy) ==\n")
+		fmt.Fprintf(bw, "%-32s %6s %12s %12s %10s\n", "kernel", "calls", "wall", "busy", "worst-imb")
+		for _, n := range names {
+			r := rollup[n]
+			fmt.Fprintf(bw, "%-32s %6d %12s %12s %10.2f\n", n, r.calls, fmtDur(r.wall), fmtDur(r.busy), r.worstImb)
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtDur renders a duration compactly with millisecond alignment.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}

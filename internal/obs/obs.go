@@ -1,0 +1,390 @@
+// Package obs is the kernel-level tracing and runtime-metrics layer of the
+// module. It gives every coarsening run the lens the paper's evaluation is
+// built on — *where the time goes* — at the granularity the whole-table
+// benchmarks cannot see: per mapping pass, per construction phase, per
+// parallel kernel, per worker.
+//
+// The layer has three pieces:
+//
+//   - Hierarchical spans (run → level → phase → kernel) carrying wall time
+//     plus per-worker busy time, so load imbalance is computable per kernel.
+//     The orchestrating goroutine opens spans with StartKernel/Done; the
+//     parallel runtime (internal/par) reports each worker's busy time into
+//     the ambient span automatically.
+//   - Named atomic counters (Counter) for the hot-path events that exist in
+//     the algorithms but were previously uncounted: CAS retries in the
+//     reservation rounds, suitor spin iterations, epoch-hash probes and
+//     collisions, radix-sort passes, workspace bytes reused vs. allocated.
+//   - Exporters: a Chrome trace_event-compatible JSON trace (export.go), a
+//     flat text metrics dump, and pprof labels on worker goroutines (applied
+//     by internal/par when a trace is active).
+//
+// Zero overhead when disabled. Tracing is off unless a Trace is installed
+// with StartTrace. Every entry point a hot path can reach begins with a
+// single ambient-pointer load and a nil check: no allocation, no atomic
+// read-modify-write, no lock. TestObsDisabledZeroAlloc proves the
+// allocation claim with testing.AllocsPerRun; BenchmarkObsOverhead (in
+// internal/coarsen) bounds the throughput delta of the instrumented
+// disabled path.
+//
+// Concurrency model. The ambient span stack (StartTrace/StartKernel/Done)
+// is manipulated only by the orchestrating goroutine — the one that calls
+// the par primitives, never from inside a parallel region. Worker
+// goroutines concurrently *report into* the current span (BusyAdd, Add,
+// Child), which is safe: busy slots and counters are atomic adds, and
+// child-span creation takes the span's mutex. One trace is active at a
+// time; installing a second trace while one is active returns nil.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter enumerates the named hot-path event counters. The set is a
+// small dense enum so recording is an indexed atomic add, not a map
+// lookup.
+type Counter uint8
+
+const (
+	// CtrCASRetry counts failed compare-and-swap attempts in the
+	// atomic-min reservation rounds (HEC/HEM/two-hop) and the canonical
+	// renumber scatter — the direct measure of reservation contention.
+	CtrCASRetry Counter = iota
+	// CtrSuitorSpin counts spin iterations on the per-vertex locks of the
+	// parallel Suitor proposal loop.
+	CtrSuitorSpin
+	// CtrHashProbe counts slot probes of the epoch-stamped dedup hash
+	// tables (one per insert plus one per collision step).
+	CtrHashProbe
+	// CtrHashCollision counts probe steps beyond the home slot — the
+	// open-addressing displacement the paper's hash-vs-sort tradeoff
+	// hinges on.
+	CtrHashCollision
+	// CtrRadixPass counts executed digit passes of the parallel LSD radix
+	// sort (skipped constant digits are not counted).
+	CtrRadixPass
+	// CtrWSBytesAlloc counts bytes freshly allocated by the construction
+	// workspace arena.
+	CtrWSBytesAlloc
+	// CtrWSBytesReused counts bytes served by the workspace arena from
+	// retained buffers without allocating.
+	CtrWSBytesReused
+	// CtrReserve counts reservation operations issued in deterministic
+	// reservation rounds.
+	CtrReserve
+	// CtrCommit counts reservation operations that committed.
+	CtrCommit
+
+	numCounters
+)
+
+// counterNames maps Counter values to their stable exported names (used by
+// the metrics dump, the JSON trace args, and LevelStats.Counters keys).
+var counterNames = [numCounters]string{
+	CtrCASRetry:      "cas_retries",
+	CtrSuitorSpin:    "suitor_spins",
+	CtrHashProbe:     "hash_probes",
+	CtrHashCollision: "hash_collisions",
+	CtrRadixPass:     "radix_passes",
+	CtrWSBytesAlloc:  "workspace_bytes_alloc",
+	CtrWSBytesReused: "workspace_bytes_reused",
+	CtrReserve:       "reservations",
+	CtrCommit:        "commits",
+}
+
+// String returns the stable metric name of c.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// CounterNames lists every counter's stable name in enum order.
+func CounterNames() []string {
+	out := make([]string, numCounters)
+	copy(out, counterNames[:])
+	return out
+}
+
+// maxBusySlots bounds the per-span busy-time array. Worker ids beyond the
+// bound fold into the last slot; with the library's GOMAXPROCS-capped
+// worker counts this is never hit on real machines.
+const maxBusySlots = 64
+
+// Span is one node of the trace tree. All methods are safe on a nil
+// receiver (the disabled path) and return promptly.
+type Span struct {
+	name   string
+	parent *Span
+	trace  *Trace
+
+	start time.Duration // offset from trace epoch
+	dur   int64         // nanoseconds, 0 while open (atomic; set once by End)
+
+	mu       sync.Mutex
+	children []*Span
+
+	// busy[w] accumulates worker w's busy nanoseconds across every
+	// parallel kernel invocation that ran while this span was ambient.
+	busy [maxBusySlots]int64
+	// workers is the high-water worker count observed (atomic max).
+	workers int32
+
+	ctr [numCounters]int64
+}
+
+// Trace owns one trace tree. Obtain with StartTrace, finish with Stop,
+// then export with WriteTrace/WriteMetrics.
+type Trace struct {
+	Root  *Span
+	epoch time.Time
+}
+
+// ambient is the innermost open span of the active trace, or nil when
+// tracing is disabled. Loading it is the entire cost of the disabled path.
+var ambient atomic.Pointer[Span]
+
+// activeTrace guards against concurrent traces (see the package comment).
+var activeTrace atomic.Pointer[Trace]
+
+// Enabled reports whether a trace is active.
+func Enabled() bool { return ambient.Load() != nil }
+
+// Ambient returns the innermost open span, or nil when tracing is
+// disabled.
+func Ambient() *Span { return ambient.Load() }
+
+// StartTrace installs a new trace whose root span has the given name and
+// returns it. Returns nil — tracing stays disabled — if another trace is
+// already active.
+func StartTrace(name string) *Trace {
+	t := &Trace{epoch: time.Now()}
+	if !activeTrace.CompareAndSwap(nil, t) {
+		return nil
+	}
+	t.Root = &Span{name: name, trace: t}
+	ambient.Store(t.Root)
+	return t
+}
+
+// Stop ends every still-open span (innermost first), uninstalls the trace,
+// and disables tracing. Safe on a nil receiver and idempotent.
+func (t *Trace) Stop() {
+	if t == nil {
+		return
+	}
+	cur := ambient.Load()
+	for s := cur; s != nil; s = s.parent {
+		if s.trace == t {
+			s.End()
+		}
+	}
+	if activeTrace.CompareAndSwap(t, nil) && cur != nil && cur.trace == t {
+		ambient.Store(nil)
+	}
+}
+
+// now returns the offset from the trace epoch.
+func (t *Trace) now() time.Duration { return time.Since(t.epoch) }
+
+// StartKernel opens a child of the ambient span, makes it the new ambient
+// span, and returns it. Returns nil instantly when tracing is disabled.
+// Must be called from the orchestrating goroutine; the matching Done
+// restores the parent as ambient.
+func StartKernel(name string) *Span {
+	a := ambient.Load()
+	if a == nil {
+		return nil
+	}
+	s := a.Child(name)
+	ambient.Store(s)
+	return s
+}
+
+// Done ends the span and restores its parent as the ambient span. The
+// inverse of StartKernel; safe on nil.
+func (s *Span) Done() {
+	if s == nil {
+		return
+	}
+	s.End()
+	if ambient.Load() == s {
+		ambient.Store(s.parent)
+	}
+}
+
+// Child creates and opens a child span without touching the ambient
+// stack. Safe to call concurrently from worker goroutines (used by tests
+// and by parallel phases that want per-worker sub-spans); safe on nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, parent: s, trace: s.trace, start: s.trace.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its wall duration. Idempotent; safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := int64(s.trace.now() - s.start)
+	if d < 1 {
+		d = 1 // keep zero-width spans visible and mark the span closed
+	}
+	atomic.CompareAndSwapInt64(&s.dur, 0, d)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Add increments counter c by n on this span. Safe on nil and from any
+// goroutine. Zero deltas are dropped without touching memory.
+func (s *Span) Add(c Counter, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	atomic.AddInt64(&s.ctr[c], n)
+}
+
+// Add increments counter c on the ambient span — the form hot paths use
+// after batching counts locally. One pointer load + nil check when
+// disabled.
+func Add(c Counter, n int64) { ambient.Load().Add(c, n) }
+
+// BusyAdd accumulates d of busy time for worker w on this span. Safe on
+// nil and from any goroutine; worker ids beyond the slot bound fold into
+// the last slot.
+func (s *Span) BusyAdd(w int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if w >= maxBusySlots {
+		w = maxBusySlots - 1
+	}
+	atomic.AddInt64(&s.busy[w], int64(d))
+	for {
+		cur := atomic.LoadInt32(&s.workers)
+		if int32(w) < cur {
+			break
+		}
+		if atomic.CompareAndSwapInt32(&s.workers, cur, int32(w)+1) {
+			break
+		}
+	}
+}
+
+// Wall returns the span's wall-clock duration (0 while open or on nil).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&s.dur))
+}
+
+// Busy returns the per-worker busy times recorded directly on this span
+// (not descendants), trimmed to the observed worker count.
+func (s *Span) Busy() []time.Duration {
+	if s == nil {
+		return nil
+	}
+	w := int(atomic.LoadInt32(&s.workers))
+	out := make([]time.Duration, w)
+	for i := 0; i < w; i++ {
+		out[i] = time.Duration(atomic.LoadInt64(&s.busy[i]))
+	}
+	return out
+}
+
+// Imbalance returns the load-imbalance factor p·max(busy)/Σbusy of the
+// busy time recorded directly on this span: 1.0 is perfect balance, p is
+// one worker doing everything. Returns 0 when fewer than two workers
+// reported.
+func (s *Span) Imbalance() float64 {
+	busy := s.Busy()
+	if len(busy) < 2 {
+		return 0
+	}
+	var max, sum time.Duration
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(busy)) * float64(max) / float64(sum)
+}
+
+// Children returns a snapshot of the span's child spans in creation
+// order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	return out
+}
+
+// Counters returns the subtree-aggregated counter totals by stable name,
+// omitting zero counters. Nil-safe (returns nil).
+func (s *Span) Counters() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	var totals [numCounters]int64
+	s.addTotals(&totals)
+	out := make(map[string]int64)
+	for c, v := range totals {
+		if v != 0 {
+			out[counterNames[c]] = v
+		}
+	}
+	return out
+}
+
+// CounterTotals returns the subtree-aggregated totals as a dense array
+// indexed by Counter (exporter form; includes zeros).
+func (s *Span) CounterTotals() []int64 {
+	totals := make([]int64, numCounters)
+	if s != nil {
+		var t [numCounters]int64
+		s.addTotals(&t)
+		copy(totals, t[:])
+	}
+	return totals
+}
+
+func (s *Span) addTotals(t *[numCounters]int64) {
+	for c := range s.ctr {
+		t[c] += atomic.LoadInt64(&s.ctr[c])
+	}
+	for _, ch := range s.Children() {
+		ch.addTotals(t)
+	}
+}
+
+// ownCounters returns the counters recorded directly on this span.
+func (s *Span) ownCounters() [numCounters]int64 {
+	var out [numCounters]int64
+	for c := range s.ctr {
+		out[c] = atomic.LoadInt64(&s.ctr[c])
+	}
+	return out
+}

@@ -20,3 +20,21 @@ func AtomicMinInt32(addr *int32, v int32) {
 		}
 	}
 }
+
+// AtomicMinInt32Retries is AtomicMinInt32 reporting the number of failed
+// compare-and-swap attempts — the contention signal the obs layer's
+// cas_retries counter aggregates. Callers batch the returned counts locally
+// and flush once per chunk, so the uninstrumented cost is one register add.
+func AtomicMinInt32Retries(addr *int32, v int32) int64 {
+	var retries int64
+	for {
+		cur := atomic.LoadInt32(addr)
+		if cur <= v {
+			return retries
+		}
+		if atomic.CompareAndSwapInt32(addr, cur, v) {
+			return retries
+		}
+		retries++
+	}
+}

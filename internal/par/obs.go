@@ -1,0 +1,27 @@
+package par
+
+// Hooks into the internal/obs tracing layer. Every parallel primitive
+// reports each worker's busy wall time into the ambient span and labels
+// worker goroutines for pprof, but only when a trace is active: the loops
+// in par.go capture the ambient span once per call, and a nil span routes
+// straight to the uninstrumented body. The disabled cost is therefore one
+// atomic pointer load per *loop*, not per iteration.
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+
+	"mlcg/internal/obs"
+)
+
+// obsWorker runs one statically-assigned worker body under a pprof label
+// naming the ambient kernel and charges its wall time to the span's busy
+// slot for worker w.
+func obsWorker(s *obs.Span, w int, body func()) {
+	pprof.Do(context.Background(), pprof.Labels("obs_kernel", s.Name()), func(context.Context) {
+		t0 := time.Now()
+		body()
+		s.BusyAdd(w, time.Since(t0))
+	})
+}

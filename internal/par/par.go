@@ -13,6 +13,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mlcg/internal/obs"
 )
 
 // Workers normalizes a requested worker count: values <= 0 become
@@ -43,7 +46,14 @@ func For(n, p int, fn func(worker, lo, hi int)) {
 		return
 	}
 	p = Workers(p, n)
+	span := obs.Ambient()
 	if p == 1 {
+		if span != nil {
+			t0 := time.Now()
+			fn(0, 0, n)
+			span.BusyAdd(0, time.Since(t0))
+			return
+		}
 		fn(0, 0, n)
 		return
 	}
@@ -54,9 +64,14 @@ func For(n, p int, fn func(worker, lo, hi int)) {
 		hi := (w + 1) * n / p
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			if lo < hi {
-				fn(w, lo, hi)
+			if lo >= hi {
+				return
 			}
+			if span != nil {
+				obsWorker(span, w, func() { fn(w, lo, hi) })
+				return
+			}
+			fn(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -78,7 +93,14 @@ func ForChunked(n, p, chunk int, fn func(worker, lo, hi int)) {
 			chunk = 64
 		}
 	}
+	span := obs.Ambient()
 	if p == 1 {
+		if span != nil {
+			t0 := time.Now()
+			fn(0, 0, n)
+			span.BusyAdd(0, time.Since(t0))
+			return
+		}
 		fn(0, 0, n)
 		return
 	}
@@ -88,17 +110,24 @@ func ForChunked(n, p, chunk int, fn func(worker, lo, hi int)) {
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
+			loop := func() {
+				for {
+					lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					fn(w, lo, hi)
 				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				fn(w, lo, hi)
 			}
+			if span != nil {
+				obsWorker(span, w, loop)
+				return
+			}
+			loop()
 		}(w)
 	}
 	wg.Wait()

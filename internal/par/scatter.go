@@ -12,7 +12,12 @@ package par
 // after the previous range's reproduces the sequential (p == 1) placement
 // exactly — bin contents are byte-identical for every worker count.
 
-import "sort"
+import (
+	"sort"
+	"time"
+
+	"mlcg/internal/obs"
+)
 
 // BalancedRanges splits [0, n) into p contiguous ranges of approximately
 // equal prefix mass, where prefix is a monotone array with len(prefix) ==
@@ -55,8 +60,15 @@ func ForRanges(bounds []int, fn func(w, lo, hi int)) {
 	if p <= 0 {
 		return
 	}
+	span := obs.Ambient()
 	if p == 1 {
 		if bounds[0] < bounds[1] {
+			if span != nil {
+				t0 := time.Now()
+				fn(0, bounds[0], bounds[1])
+				span.BusyAdd(0, time.Since(t0))
+				return
+			}
 			fn(0, bounds[0], bounds[1])
 		}
 		return
@@ -65,7 +77,11 @@ func ForRanges(bounds []int, fn func(w, lo, hi int)) {
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			if bounds[w] < bounds[w+1] {
-				fn(w, bounds[w], bounds[w+1])
+				if span != nil {
+					obsWorker(span, w, func() { fn(w, bounds[w], bounds[w+1]) })
+				} else {
+					fn(w, bounds[w], bounds[w+1])
+				}
 			}
 			done <- struct{}{}
 		}(w)

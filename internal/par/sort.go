@@ -5,6 +5,8 @@ package par
 // line 1), the global-sort coarse-graph construction baseline, and the
 // segmented sorts used by sort-based deduplication on long adjacency lists.
 
+import "mlcg/internal/obs"
+
 const radixBits = 8
 const radixBuckets = 1 << radixBits
 
@@ -41,10 +43,12 @@ func RadixSortPairs(keys, vals []uint64, p int) {
 
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK, tmpV
+	var passes int64
 	for shift := 0; shift < 64; shift += radixBits {
 		if (diff>>shift)&(radixBuckets-1) == 0 {
 			continue
 		}
+		passes++
 		for i := range hist {
 			hist[i] = 0
 		}
@@ -75,6 +79,7 @@ func RadixSortPairs(keys, vals []uint64, p int) {
 		srcK, dstK = dstK, srcK
 		srcV, dstV = dstV, srcV
 	}
+	obs.Add(obs.CtrRadixPass, passes)
 	if &srcK[0] != &keys[0] {
 		Copy(keys, srcK, p)
 		Copy(vals, srcV, p)
@@ -104,10 +109,12 @@ func radixSortPairsSeqScratch(keys, vals, tmpK, tmpV []uint64) {
 	var hist [radixBuckets]int64
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK, tmpV
+	var passes int64
 	for shift := 0; shift < 64; shift += radixBits {
 		if (diff>>shift)&(radixBuckets-1) == 0 {
 			continue
 		}
+		passes++
 		for i := range hist {
 			hist[i] = 0
 		}
@@ -130,6 +137,7 @@ func radixSortPairsSeqScratch(keys, vals, tmpK, tmpV []uint64) {
 		srcK, dstK = dstK, srcK
 		srcV, dstV = dstV, srcV
 	}
+	obs.Add(obs.CtrRadixPass, passes)
 	if &srcK[0] != &keys[0] {
 		copy(keys, srcK)
 		copy(vals, srcV)
