@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism fuzz bench bench-construct tables figures trace verify clean
+.PHONY: all build test race test-determinism fuzz bench bench-construct bench-json bench-check bench-baseline tables figures trace verify clean
 
 all: build test
 
@@ -37,6 +37,25 @@ bench:
 bench-construct:
 	$(GO) test -run='^$$' -bench=BenchmarkBuildConstruct -benchmem -count=10 .
 	$(GO) run ./cmd/mlcg-tables -construct -runs 7 -metrics
+
+# Record a machine-readable baseline of the fast suite slice as
+# BENCH_<sha>.json (the schema lives in internal/bench/baseline.go).
+bench-json:
+	$(GO) run ./cmd/mlcg-bench -suite fast -runs 5 \
+		-sha "$$(git rev-parse HEAD 2>/dev/null || echo '')"
+
+# Record a fresh fast-slice run and gate it against the committed
+# baseline: exits non-zero when a gated metric regressed past tolerance.
+bench-check:
+	$(GO) run ./cmd/mlcg-bench -suite fast -runs 5 -out /tmp/mlcg-bench-new.json \
+		-sha "$$(git rev-parse HEAD 2>/dev/null || echo '')"
+	$(GO) run ./cmd/mlcg-bench -compare BENCH_baseline.json /tmp/mlcg-bench-new.json
+
+# Regenerate the committed baseline (run on a quiet machine; see the
+# benchmark policy in CONTRIBUTING.md before committing the result).
+bench-baseline:
+	$(GO) run ./cmd/mlcg-bench -suite fast -runs 5 -out BENCH_baseline.json \
+		-sha "$$(git rev-parse HEAD 2>/dev/null || echo '')"
 
 # Kernel-level trace of a representative coarsening run: writes a Chrome
 # trace_event file (load it at chrome://tracing or https://ui.perfetto.dev),

@@ -1,0 +1,189 @@
+// mlcg-bench records machine-readable benchmark baselines and gates on
+// regressions against a previously recorded one. It is the trajectory
+// tool: every perf-relevant PR records a BENCH_<sha>.json, and the
+// comparator turns "is this slower?" into an exit code.
+//
+// Usage:
+//
+//	mlcg-bench                                  # fast slice -> BENCH_<sha>.json
+//	mlcg-bench -suite full -runs 5 -out b.json  # the committed-baseline slice
+//	mlcg-bench -validate BENCH_baseline.json    # schema check only
+//	mlcg-bench -compare old.json new.json       # exit 1 on regression
+//	mlcg-bench -compare -report-only old.json new.json   # CI advisory mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlcg/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlcg-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output file (default BENCH_<sha>.json)")
+	suite := fs.String("suite", "fast", "suite slice to run: fast or full")
+	runs := fs.Int("runs", 0, "repetitions per measurement (0 = the slice default)")
+	scale := fs.Int("scale", 0, "workload scale multiplier (0 = the slice default)")
+	seed := fs.Uint64("seed", 0, "random seed (0 = harness default)")
+	only := fs.String("only", "", "comma-separated instance names overriding the slice")
+	mappers := fs.String("mappers", "", "comma-separated mapper names overriding the slice")
+	builders := fs.String("builders", "", "comma-separated builder names overriding the slice")
+	workersFlag := fs.String("workers", "", "comma-separated worker counts (0 = GOMAXPROCS), e.g. 1,0")
+	counters := fs.Bool("counters", true, "record obs counter totals (one extra traced run per combination)")
+	sha := fs.String("sha", "", "git SHA for the environment fingerprint (default: embedded VCS info)")
+	compare := fs.Bool("compare", false, "compare two baseline files: mlcg-bench -compare old.json new.json")
+	validate := fs.String("validate", "", "validate the schema of this baseline file and exit")
+	reportOnly := fs.Bool("report-only", false, "with -compare: print the report but exit 0 on regressions")
+	verbose := fs.Bool("v", false, "with -compare: list ok/info rows too")
+	tolerance := fs.Float64("tolerance", 0, "relative time tolerance before a delta is a regression (0 = default 0.25)")
+	minTime := fs.Duration("mintime", 0, "noise floor: time metrics with both sides below this never regress (0 = default 5ms)")
+	failMissing := fs.Bool("fail-missing", false, "with -compare: treat gated metrics missing from the new file as regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mlcg-bench:", err)
+		return 1
+	}
+
+	if *validate != "" {
+		b, err := bench.ReadBaselineFile(*validate)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "%s: schema v%d ok, %d metrics (suite %q, recorded %s)\n",
+			*validate, b.SchemaVersion, len(b.Metrics), b.Config.Suite, orUnknown(b.CreatedAt))
+		return 0
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "mlcg-bench: -compare needs exactly two files: old.json new.json")
+			return 2
+		}
+		oldB, err := bench.ReadBaselineFile(fs.Arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		newB, err := bench.ReadBaselineFile(fs.Arg(1))
+		if err != nil {
+			return fail(err)
+		}
+		opt := bench.CompareOptions{TimeTolerance: *tolerance, MinTime: *minTime, FailOnMissing: *failMissing}
+		report, err := bench.Compare(oldB, newB, opt)
+		if err != nil {
+			return fail(err)
+		}
+		report.Format(stdout, *verbose)
+		if report.HasRegressions() {
+			if *reportOnly {
+				fmt.Fprintln(stdout, "report-only mode: regressions reported, not gated")
+				return 0
+			}
+			return 1
+		}
+		return 0
+	}
+
+	cfg, err := bench.ConfigByName(*suite)
+	if err != nil {
+		return fail(err)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Counters = *counters
+	custom := false
+	if *only != "" {
+		cfg.Instances = strings.Split(*only, ",")
+		custom = true
+	}
+	if *mappers != "" {
+		cfg.Mappers = strings.Split(*mappers, ",")
+		custom = true
+	}
+	if *builders != "" {
+		cfg.Builders = strings.Split(*builders, ",")
+		custom = true
+	}
+	if *workersFlag != "" {
+		ws, err := parseWorkers(*workersFlag)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Workers = ws
+		custom = true
+	}
+	if custom {
+		cfg.Suite = "custom"
+	}
+
+	t0 := time.Now()
+	b, err := bench.RunBaseline(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	b.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	if *sha != "" {
+		b.Env.GitSHA = *sha
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + shortSHA(b.Env.GitSHA) + ".json"
+	}
+	if err := b.WriteFile(path); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d metrics over %d instances (%s slice, %d runs each) in %.1fs\n",
+		path, len(b.Metrics), len(cfg.Instances), cfg.Suite, cfg.Runs, time.Since(t0).Seconds())
+	return 0
+}
+
+// parseWorkers parses the -workers comma list.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -workers entry %q (want non-negative integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// shortSHA abbreviates a full revision for the default filename.
+func shortSHA(sha string) string {
+	if sha == "" {
+		return "local"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown time"
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlcg/internal/bench"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// fastArgs shrinks the run to one repetition of one tiny instance.
+func fastArgs(out string) []string {
+	return []string{
+		"-out", out, "-runs", "1",
+		"-only", "mycielskian17", "-mappers", "hec", "-builders", "sort", "-workers", "1",
+	}
+}
+
+func TestRunWritesValidBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	stdout, stderr, code := runCLI(t, fastArgs(path)...)
+	if code != 0 {
+		t.Fatalf("exit %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+path) {
+		t.Errorf("missing confirmation line:\n%s", stdout)
+	}
+	b, err := bench.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatalf("emitted file does not validate: %v", err)
+	}
+	if b.Config.Suite != "custom" {
+		t.Errorf("overridden slice recorded as %q, want custom", b.Config.Suite)
+	}
+	if b.CreatedAt == "" {
+		t.Error("CreatedAt not stamped")
+	}
+	// -validate must accept it too.
+	if _, errs, code := runCLI(t, "-validate", path); code != 0 {
+		t.Errorf("-validate rejected a fresh file: exit %d (%s)", code, errs)
+	}
+}
+
+func TestSelfCompareExitsZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_self.json")
+	if _, errs, code := runCLI(t, fastArgs(path)...); code != 0 {
+		t.Fatalf("run failed: exit %d (%s)", code, errs)
+	}
+	stdout, errs, code := runCLI(t, "-compare", path, path)
+	if code != 0 {
+		t.Fatalf("self-comparison: exit %d (%s)", code, errs)
+	}
+	if !strings.Contains(stdout, "0 regressions") {
+		t.Errorf("self-comparison reported regressions:\n%s", stdout)
+	}
+}
+
+// injectSlowdown reads the baseline at src, multiplies every gated time
+// metric by factor, and writes the result to dst.
+func injectSlowdown(t *testing.T, src, dst string, factor float64) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bench.Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Metrics {
+		if b.Metrics[i].Direction == bench.LowerIsBetter {
+			b.Metrics[i].Value *= factor
+		}
+	}
+	if err := b.WriteFile(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareGatesSyntheticSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	if _, errs, code := runCLI(t, fastArgs(old)...); code != 0 {
+		t.Fatalf("run failed: exit %d (%s)", code, errs)
+	}
+	slow := filepath.Join(dir, "slow.json")
+	injectSlowdown(t, old, slow, 2)
+
+	// -mintime 1ns removes the scheduler-noise floor: the instance is tiny,
+	// so its absolute times may sit under the default 5ms.
+	stdout, _, code := runCLI(t, "-compare", "-mintime", "1ns", old, slow)
+	if code == 0 {
+		t.Fatalf("a synthetic 2x slowdown passed the gate:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "regression") {
+		t.Errorf("report does not name the regression:\n%s", stdout)
+	}
+
+	// Report-only mode prints the same report but exits zero (the CI
+	// advisory path).
+	stdout, _, code = runCLI(t, "-compare", "-report-only", "-mintime", "1ns", old, slow)
+	if code != 0 {
+		t.Errorf("-report-only exited %d on a regression", code)
+	}
+	if !strings.Contains(stdout, "report-only mode") {
+		t.Errorf("-report-only missing its banner:\n%s", stdout)
+	}
+}
+
+func TestCompareArgErrors(t *testing.T) {
+	if _, _, code := runCLI(t, "-compare", "only-one.json"); code != 2 {
+		t.Errorf("-compare with one file: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-compare", "nope-a.json", "nope-b.json"); code != 1 {
+		t.Errorf("-compare with missing files: exit %d, want 1", code)
+	}
+	if _, _, code := runCLI(t, "-validate", "nope.json"); code != 1 {
+		t.Errorf("-validate with missing file: exit %d, want 1", code)
+	}
+	if _, _, code := runCLI(t, "-suite", "medium"); code != 1 {
+		t.Errorf("unknown -suite: exit %d, want 1", code)
+	}
+	if _, _, code := runCLI(t, "-workers", "1,x"); code != 1 {
+		t.Errorf("bad -workers: exit %d, want 1", code)
+	}
+}
+
+func TestValidateRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 999, "metrics": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errs, code := runCLI(t, "-validate", path)
+	if code != 1 {
+		t.Fatalf("-validate accepted a wrong-version file (exit %d)", code)
+	}
+	if !strings.Contains(errs, "schema version") {
+		t.Errorf("error does not mention the schema version: %s", errs)
+	}
+}

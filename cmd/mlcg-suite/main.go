@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memProfile := fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the -stallcheck runs to this file")
 	metrics := fs.Bool("metrics", false, "print the kernel metrics dump after the -stallcheck runs")
+	asJSON := fs.Bool("json", false, "emit the per-instance rows as JSON instead of the text table")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// main exits via os.Exit, which skips defers — finish the profiles
 	// explicitly rather than deferring.
-	code := export(*dir, *format, *scale, *seed, *workers, *stallcheck, stdout, fail)
+	code := export(*dir, *format, *scale, *seed, *workers, *stallcheck, *asJSON, stdout, fail)
 	if perr := stopProfiles(); perr != nil && code == 0 {
 		return fail(perr)
 	}
@@ -69,7 +71,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-func export(dir, format string, scale int, seed uint64, workers int, stallcheck bool, stdout io.Writer, fail func(error) int) int {
+// suiteRow is the machine-readable form of one exported instance (-json).
+type suiteRow struct {
+	Name    string  `json:"name"`
+	Domain  string  `json:"domain"`
+	Skewed  bool    `json:"skewed"`
+	N       int64   `json:"n"`
+	M       int64   `json:"m"`
+	Skew    float64 `json:"skew"`
+	File    string  `json:"file"`
+	Levels  int     `json:"levels,omitempty"`
+	CR      float64 `json:"coarsening_ratio,omitempty"`
+	Stalled bool    `json:"stalled,omitempty"`
+}
+
+func export(dir, format string, scale int, seed uint64, workers int, stallcheck, asJSON bool, stdout io.Writer, fail func(error) int) int {
 	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[format]
 	if ext == "" {
 		return fail(fmt.Errorf("unknown format %q (want %s)", format, cli.Formats()))
@@ -83,7 +99,10 @@ func export(dir, format string, scale int, seed uint64, workers int, stallcheck 
 	if stallcheck {
 		coaHdr = fmt.Sprintf(" %-18s", "coarsen")
 	}
-	fmt.Fprintf(stdout, "%-14s %-6s %10s %10s %10s %s %s\n", "Graph", "Group", "n", "m", "skew", coaHdr, "file")
+	if !asJSON {
+		fmt.Fprintf(stdout, "%-14s %-6s %10s %10s %10s %s %s\n", "Graph", "Group", "n", "m", "skew", coaHdr, "file")
+	}
+	var rows []suiteRow
 	for _, inst := range suite {
 		path := filepath.Join(dir, inst.Name+ext)
 		if err := cli.WriteGraph(inst.Graph, path, format); err != nil {
@@ -93,6 +112,8 @@ func export(dir, format string, scale int, seed uint64, workers int, stallcheck 
 		if inst.Skewed {
 			group = "skewed"
 		}
+		s := inst.Graph.ComputeStats()
+		row := suiteRow{Name: inst.Name, Domain: inst.Domain, Skewed: inst.Skewed, N: s.N, M: s.M, Skew: s.Skew, File: path}
 		coa := ""
 		if stallcheck {
 			// A stalled hierarchy is not an error — the point of the column
@@ -102,14 +123,25 @@ func export(dir, format string, scale int, seed uint64, workers int, stallcheck 
 			if err != nil {
 				return fail(fmt.Errorf("%s: %w", inst.Name, err))
 			}
+			row.Levels, row.CR, row.Stalled = h.Levels(), h.CoarseningRatio(), h.Stalled
 			if h.Stalled {
 				coa = fmt.Sprintf(" %-18s", fmt.Sprintf("STALL(l=%d,p=%d)", h.Levels(), h.StallStats.Passes))
 			} else {
 				coa = fmt.Sprintf(" %-18s", fmt.Sprintf("ok(l=%d,cr=%.2f)", h.Levels(), h.CoarseningRatio()))
 			}
 		}
-		s := inst.Graph.ComputeStats()
+		if asJSON {
+			rows = append(rows, row)
+			continue
+		}
 		fmt.Fprintf(stdout, "%-14s %-6s %10d %10d %10.1f %s %s\n", inst.Name, group, s.N, s.M, s.Skew, coa, path)
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]interface{}{"suite": rows}); err != nil {
+			return fail(err)
+		}
 	}
 	return 0
 }

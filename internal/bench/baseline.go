@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the version stamped into every baseline file. Bump it
+// when a field changes meaning; the comparator refuses to compare files
+// with mismatched versions rather than silently mis-reading them.
+const SchemaVersion = 1
+
+// Direction says how a metric's value relates to "better". The comparator
+// gates on lower/higher metrics and only reports info metrics.
+type Direction string
+
+const (
+	// LowerIsBetter marks wall times and other costs.
+	LowerIsBetter Direction = "lower"
+	// HigherIsBetter marks throughput rates.
+	HigherIsBetter Direction = "higher"
+	// Informational marks structural observations (levels, coarsening
+	// ratios, obs counters) that describe a run but never gate it.
+	Informational Direction = "info"
+)
+
+// Environment is the machine fingerprint recorded with every baseline, so
+// a delta report can say whether two files are comparable at all.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GitSHA     string `json:"git_sha,omitempty"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// CaptureEnvironment fingerprints the current process and host. The git
+// SHA comes from the binary's embedded VCS info when present (builds from
+// a clean checkout); callers with better information (the Makefile passes
+// `git rev-parse`) can overwrite GitSHA afterwards.
+func CaptureEnvironment() Environment {
+	env := Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		env.Hostname = host
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				env.GitSHA = s.Value
+			}
+		}
+	}
+	return env
+}
+
+// cpuModel best-effort reads the CPU model name; empty where unavailable
+// (non-Linux, sandboxed /proc).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, val, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}
+
+// Metric is one measured value. The identity fields (Experiment, Instance,
+// Mapper, Builder, Workers, Name) form the comparison key; Value is the
+// median over the run's repetitions and Samples optionally keeps the raw
+// per-repetition values for offline noise analysis.
+type Metric struct {
+	Experiment string    `json:"experiment"`
+	Instance   string    `json:"instance,omitempty"`
+	Mapper     string    `json:"mapper,omitempty"`
+	Builder    string    `json:"builder,omitempty"`
+	Workers    int       `json:"workers,omitempty"`
+	Name       string    `json:"name"`
+	Unit       string    `json:"unit"`
+	Direction  Direction `json:"direction"`
+	Value      float64   `json:"value"`
+	Samples    []float64 `json:"samples,omitempty"`
+}
+
+// Key returns the stable identity string used to pair metrics across two
+// baselines.
+func (m Metric) Key() string {
+	parts := []string{m.Experiment}
+	if m.Instance != "" {
+		parts = append(parts, m.Instance)
+	}
+	if m.Mapper != "" {
+		parts = append(parts, m.Mapper)
+	}
+	if m.Builder != "" {
+		parts = append(parts, m.Builder)
+	}
+	if m.Workers != 0 {
+		parts = append(parts, fmt.Sprintf("w=%d", m.Workers))
+	}
+	parts = append(parts, m.Name)
+	return strings.Join(parts, "/")
+}
+
+// Baseline is one recorded benchmark run: the file format of
+// BENCH_<sha>.json. Metrics are kept sorted by Key so the files diff
+// cleanly under version control.
+type Baseline struct {
+	SchemaVersion int         `json:"schema_version"`
+	CreatedAt     string      `json:"created_at,omitempty"`
+	Env           Environment `json:"env"`
+	Config        RunConfig   `json:"config"`
+	Metrics       []Metric    `json:"metrics"`
+}
+
+// Sort orders the metrics by key (stable file layout).
+func (b *Baseline) Sort() {
+	sort.Slice(b.Metrics, func(i, j int) bool { return b.Metrics[i].Key() < b.Metrics[j].Key() })
+}
+
+// Validate checks the structural invariants of a baseline file: matching
+// schema version, at least one metric, every metric named, every direction
+// legal, and no duplicate keys.
+func (b *Baseline) Validate() error {
+	if b.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: schema version %d, this tool reads %d", b.SchemaVersion, SchemaVersion)
+	}
+	if len(b.Metrics) == 0 {
+		return fmt.Errorf("bench: baseline has no metrics")
+	}
+	seen := make(map[string]bool, len(b.Metrics))
+	for i, m := range b.Metrics {
+		if m.Name == "" || m.Experiment == "" {
+			return fmt.Errorf("bench: metric %d has empty experiment/name", i)
+		}
+		switch m.Direction {
+		case LowerIsBetter, HigherIsBetter, Informational:
+		default:
+			return fmt.Errorf("bench: metric %s has unknown direction %q", m.Key(), m.Direction)
+		}
+		if k := m.Key(); seen[k] {
+			return fmt.Errorf("bench: duplicate metric key %s", k)
+		} else {
+			seen[k] = true
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the baseline as indented JSON.
+func (b *Baseline) WriteJSON(w io.Writer) error {
+	b.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the baseline to path.
+func (b *Baseline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBaseline parses and validates a baseline from r.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("bench: parsing baseline: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// ReadBaselineFile reads and validates the baseline at path.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := ReadBaseline(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleBaseline builds a small valid baseline for schema tests.
+func sampleBaseline() *Baseline {
+	return &Baseline{
+		SchemaVersion: SchemaVersion,
+		CreatedAt:     "2026-08-05T00:00:00Z",
+		Env:           Environment{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, NumCPU: 4, GitSHA: "abc123"},
+		Config:        RunConfig{Suite: "fast", Runs: 3, Scale: 1, Workers: []int{1}, Instances: []string{"g"}, Mappers: []string{"hec"}, Builders: []string{"sort"}},
+		Metrics: []Metric{
+			{Experiment: "coarsen", Instance: "g", Mapper: "hec", Builder: "sort", Workers: 1,
+				Name: "total_ns", Unit: "ns", Direction: LowerIsBetter, Value: 1e8, Samples: []float64{9e7, 1e8, 1.1e8}},
+			{Experiment: "coarsen", Instance: "g", Mapper: "hec", Builder: "sort", Workers: 1,
+				Name: "rate", Unit: "size/s", Direction: HigherIsBetter, Value: 5e6},
+			{Experiment: "coarsen", Instance: "g", Mapper: "hec", Builder: "sort", Workers: 1,
+				Name: "levels", Unit: "levels", Direction: Informational, Value: 5},
+		},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := sampleBaseline()
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Errorf("round trip changed the baseline:\nwrote %+v\nread  %+v", b, got)
+	}
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	b := sampleBaseline()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatalf("ReadBaselineFile: %v", err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Errorf("file round trip changed the baseline")
+	}
+}
+
+func TestBaselineValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Baseline)
+		wantErr string
+	}{
+		{"valid", func(b *Baseline) {}, ""},
+		{"wrong version", func(b *Baseline) { b.SchemaVersion = SchemaVersion + 1 }, "schema version"},
+		{"no metrics", func(b *Baseline) { b.Metrics = nil }, "no metrics"},
+		{"empty name", func(b *Baseline) { b.Metrics[0].Name = "" }, "empty experiment/name"},
+		{"bad direction", func(b *Baseline) { b.Metrics[0].Direction = "sideways" }, "unknown direction"},
+		{"duplicate key", func(b *Baseline) { b.Metrics[1] = b.Metrics[0] }, "duplicate metric key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := sampleBaseline()
+			tc.mutate(b)
+			err := b.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMetricKey(t *testing.T) {
+	m := Metric{Experiment: "coarsen", Instance: "kron21", Mapper: "hec", Builder: "sort", Workers: 4, Name: "total_ns"}
+	if got, want := m.Key(), "coarsen/kron21/hec/sort/w=4/total_ns"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+	// Optional identity fields drop out of the key rather than leaving
+	// empty segments.
+	m2 := Metric{Experiment: "suite", Name: "n"}
+	if got, want := m2.Key(), "suite/n"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+}
+
+func TestCaptureEnvironment(t *testing.T) {
+	env := CaptureEnvironment()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" {
+		t.Errorf("fingerprint missing toolchain fields: %+v", env)
+	}
+	if env.GOMAXPROCS < 1 || env.NumCPU < 1 {
+		t.Errorf("fingerprint has impossible CPU counts: %+v", env)
+	}
+}
+
+func TestRunBaselineSmallSlice(t *testing.T) {
+	cfg := RunConfig{
+		Suite: "custom", Runs: 1, Scale: 1,
+		Workers:   []int{1, 0}, // 0 resolves to GOMAXPROCS; deduped when that is 1
+		Instances: []string{"mycielskian17"},
+		Mappers:   []string{"hec"},
+		Builders:  []string{"sort"},
+		Counters:  true,
+	}
+	b, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatalf("RunBaseline: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("generated baseline invalid: %v", err)
+	}
+	byName := map[string]bool{}
+	for _, m := range b.Metrics {
+		byName[m.Name] = true
+	}
+	for _, want := range []string{"total_ns", "map_ns", "build_ns", "rate", "levels", "coarsening_ratio"} {
+		if !byName[want] {
+			t.Errorf("baseline missing metric %q (have %v)", want, byName)
+		}
+	}
+	// The traced extra run must surface at least one obs counter (sort
+	// construction always executes radix passes or hash probes).
+	foundCtr := false
+	for n := range byName {
+		if strings.HasPrefix(n, "ctr_") {
+			foundCtr = true
+		}
+	}
+	if !foundCtr {
+		t.Errorf("Counters=true produced no ctr_* metrics: %v", byName)
+	}
+}
+
+func TestRunBaselineUnknownInstance(t *testing.T) {
+	cfg := FastConfig()
+	cfg.Instances = []string{"no-such-graph"}
+	if _, err := RunBaseline(cfg); err == nil {
+		t.Fatal("RunBaseline accepted an unknown instance")
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	fast, err := ConfigByName("fast")
+	if err != nil || fast.Suite != "fast" || len(fast.Instances) == 0 {
+		t.Fatalf("ConfigByName(fast) = %+v, %v", fast, err)
+	}
+	full, err := ConfigByName("full")
+	if err != nil || len(full.Instances) != 20 {
+		t.Fatalf("ConfigByName(full) = %d instances, %v; want 20", len(full.Instances), err)
+	}
+	if _, err := ConfigByName("medium"); err == nil {
+		t.Fatal("ConfigByName accepted an unknown slice")
+	}
+}

@@ -1,9 +1,3 @@
-// Package bench is the evaluation harness: it regenerates every table and
-// figure of the paper's Section IV on the synthetic Table I analog suite.
-// Each Table*/Fig* function returns structured rows; the Format* helpers
-// print them in the paper's layout. cmd/mlcg-tables and cmd/mlcg-figures
-// are thin wrappers, and bench_test.go at the module root exposes each
-// experiment as a testing.B benchmark.
 package bench
 
 import (

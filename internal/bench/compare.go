@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// CompareOptions tunes the regression gate. The defaults are deliberately
+// loose: single-machine wall times at this suite's sizes jitter by 10-15%
+// run to run, and a gate that cries wolf gets disabled.
+type CompareOptions struct {
+	// TimeTolerance is the relative slack for lower-is-better metrics: new
+	// is a regression when new > old·(1+TimeTolerance). Zero means 0.25.
+	TimeTolerance float64
+	// RateTolerance is the slack for higher-is-better metrics: regression
+	// when new < old·(1-RateTolerance). Zero means TimeTolerance.
+	RateTolerance float64
+	// MinTime is the noise floor for "ns" metrics: when both sides are
+	// below it the delta is reported as OK regardless of ratio (a 3ms
+	// kernel doubling to 6ms is scheduler noise, not a regression).
+	// Zero means 5ms; negative disables the floor.
+	MinTime time.Duration
+	// FailOnMissing escalates metrics present in the old baseline but
+	// absent from the new one to regressions (default: warn only).
+	FailOnMissing bool
+}
+
+func (o CompareOptions) timeTol() float64 {
+	if o.TimeTolerance == 0 {
+		return 0.25
+	}
+	return o.TimeTolerance
+}
+
+func (o CompareOptions) rateTol() float64 {
+	if o.RateTolerance == 0 {
+		return o.timeTol()
+	}
+	return o.RateTolerance
+}
+
+func (o CompareOptions) minTime() float64 {
+	if o.MinTime == 0 {
+		return float64(5 * time.Millisecond)
+	}
+	if o.MinTime < 0 {
+		return 0
+	}
+	return float64(o.MinTime)
+}
+
+// DeltaStatus classifies one metric pair.
+type DeltaStatus string
+
+const (
+	// StatusOK: inside tolerance (including exact ties).
+	StatusOK DeltaStatus = "ok"
+	// StatusRegression: worse than tolerance allows. Gates the comparison.
+	StatusRegression DeltaStatus = "regression"
+	// StatusImprovement: better than tolerance requires (reported so a
+	// baseline refresh can lock the win in).
+	StatusImprovement DeltaStatus = "improvement"
+	// StatusNew: present only in the new baseline (never a regression —
+	// new coverage must not fail its introducing PR).
+	StatusNew DeltaStatus = "new"
+	// StatusMissing: present only in the old baseline.
+	StatusMissing DeltaStatus = "missing"
+	// StatusInfo: informational metric; reported, never gated.
+	StatusInfo DeltaStatus = "info"
+)
+
+// Delta is one metric's comparison outcome.
+type Delta struct {
+	Key       string
+	Unit      string
+	Direction Direction
+	Old, New  float64
+	// Ratio is New/Old (NaN when either side is absent or old is 0).
+	Ratio  float64
+	Status DeltaStatus
+}
+
+// Report is the full outcome of comparing two baselines.
+type Report struct {
+	Deltas []Delta
+	// EnvNotes lists environment differences that make absolute times
+	// incomparable (different GOMAXPROCS, CPU, Go version).
+	EnvNotes                                       []string
+	Regressions, Improvements, NewMetrics, Missing int
+}
+
+// HasRegressions reports whether the gate should fail.
+func (r *Report) HasRegressions() bool { return r.Regressions > 0 }
+
+// Compare pairs the metrics of two baselines by key and classifies every
+// delta. Both files must carry the current schema version (Read* already
+// enforces it); the configs may differ — unmatched metrics come out as
+// new/missing rather than errors, so a PR can grow the measured slice.
+func Compare(oldB, newB *Baseline, opt CompareOptions) (*Report, error) {
+	if err := oldB.Validate(); err != nil {
+		return nil, fmt.Errorf("old baseline: %w", err)
+	}
+	if err := newB.Validate(); err != nil {
+		return nil, fmt.Errorf("new baseline: %w", err)
+	}
+	r := &Report{EnvNotes: envNotes(oldB.Env, newB.Env)}
+
+	oldByKey := make(map[string]Metric, len(oldB.Metrics))
+	for _, m := range oldB.Metrics {
+		oldByKey[m.Key()] = m
+	}
+	seen := make(map[string]bool, len(newB.Metrics))
+	for _, m := range newB.Metrics {
+		k := m.Key()
+		seen[k] = true
+		old, ok := oldByKey[k]
+		d := Delta{Key: k, Unit: m.Unit, Direction: m.Direction, New: m.Value, Ratio: math.NaN()}
+		if !ok {
+			d.Status = StatusNew
+			d.Old = math.NaN()
+			r.NewMetrics++
+			r.Deltas = append(r.Deltas, d)
+			continue
+		}
+		d.Old = old.Value
+		if old.Value != 0 {
+			d.Ratio = m.Value / old.Value
+		}
+		d.Status = classify(old, m, opt)
+		switch d.Status {
+		case StatusRegression:
+			r.Regressions++
+		case StatusImprovement:
+			r.Improvements++
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	for _, m := range oldB.Metrics {
+		if k := m.Key(); !seen[k] {
+			d := Delta{Key: k, Unit: m.Unit, Direction: m.Direction, Old: m.Value, New: math.NaN(), Ratio: math.NaN(), Status: StatusMissing}
+			r.Missing++
+			if opt.FailOnMissing && m.Direction != Informational {
+				d.Status = StatusRegression
+				r.Regressions++
+				r.Missing--
+			}
+			r.Deltas = append(r.Deltas, d)
+		}
+	}
+	return r, nil
+}
+
+// classify applies the per-direction tolerance to one matched pair.
+func classify(old, cur Metric, opt CompareOptions) DeltaStatus {
+	if old.Direction == Informational || cur.Direction == Informational {
+		return StatusInfo
+	}
+	switch cur.Direction {
+	case LowerIsBetter:
+		if old.Unit == "ns" && old.Value < opt.minTime() && cur.Value < opt.minTime() {
+			return StatusOK
+		}
+		if cur.Value > old.Value*(1+opt.timeTol()) {
+			return StatusRegression
+		}
+		if cur.Value < old.Value*(1-opt.timeTol()) {
+			return StatusImprovement
+		}
+	case HigherIsBetter:
+		if cur.Value < old.Value*(1-opt.rateTol()) {
+			return StatusRegression
+		}
+		if cur.Value > old.Value*(1+opt.rateTol()) {
+			return StatusImprovement
+		}
+	}
+	return StatusOK
+}
+
+// envNotes reports fingerprint differences that void time comparisons.
+func envNotes(a, b Environment) []string {
+	var notes []string
+	add := func(field, av, bv string) {
+		if av != bv {
+			notes = append(notes, fmt.Sprintf("%s differs: old=%q new=%q", field, av, bv))
+		}
+	}
+	add("go_version", a.GoVersion, b.GoVersion)
+	add("cpu_model", a.CPUModel, b.CPUModel)
+	add("goos/goarch", a.GOOS+"/"+a.GOARCH, b.GOOS+"/"+b.GOARCH)
+	if a.GOMAXPROCS != b.GOMAXPROCS {
+		notes = append(notes, fmt.Sprintf("gomaxprocs differs: old=%d new=%d", a.GOMAXPROCS, b.GOMAXPROCS))
+	}
+	return notes
+}
+
+// Format writes the human-readable delta report. With verbose false, OK
+// and info rows are summarized rather than listed.
+func (r *Report) Format(w io.Writer, verbose bool) {
+	for _, n := range r.EnvNotes {
+		fmt.Fprintf(w, "note: %s (absolute times not comparable)\n", n)
+	}
+	var ok, info int
+	for _, d := range r.Deltas {
+		switch d.Status {
+		case StatusOK:
+			ok++
+			if !verbose {
+				continue
+			}
+		case StatusInfo:
+			info++
+			if !verbose {
+				continue
+			}
+		}
+		ratio := "     -"
+		if !math.IsNaN(d.Ratio) {
+			ratio = fmt.Sprintf("%6.2f", d.Ratio)
+		}
+		fmt.Fprintf(w, "%-12s %s  old=%s new=%s ratio=%s\n",
+			d.Status, d.Key, fmtValue(d.Old, d.Unit), fmtValue(d.New, d.Unit), ratio)
+	}
+	fmt.Fprintf(w, "compared %d metrics: %d regressions, %d improvements, %d ok, %d info, %d new, %d missing\n",
+		len(r.Deltas), r.Regressions, r.Improvements, ok, info, r.NewMetrics, r.Missing)
+}
+
+// fmtValue renders a metric value with its unit (ns as milliseconds).
+func fmtValue(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if unit == "ns" {
+		return fmt.Sprintf("%.3fms", v/float64(time.Millisecond))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

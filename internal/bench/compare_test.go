@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pair builds two one-metric baselines with the given old/new values for a
+// lower-is-better "ns" metric well above the noise floor.
+func pair(oldV, newV float64) (*Baseline, *Baseline) {
+	mk := func(v float64) *Baseline {
+		return &Baseline{
+			SchemaVersion: SchemaVersion,
+			Env:           Environment{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, NumCPU: 1},
+			Metrics: []Metric{{
+				Experiment: "coarsen", Instance: "g", Mapper: "hec", Builder: "sort", Workers: 1,
+				Name: "total_ns", Unit: "ns", Direction: LowerIsBetter, Value: v,
+			}},
+		}
+	}
+	return mk(oldV), mk(newV)
+}
+
+func compareOne(t *testing.T, oldV, newV float64, opt CompareOptions) *Report {
+	t.Helper()
+	oldB, newB := pair(oldV, newV)
+	r, err := Compare(oldB, newB, opt)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	return r
+}
+
+func TestCompareExactTie(t *testing.T) {
+	r := compareOne(t, 1e8, 1e8, CompareOptions{})
+	if r.HasRegressions() || r.Deltas[0].Status != StatusOK {
+		t.Errorf("exact tie classified %s, want ok", r.Deltas[0].Status)
+	}
+	if r.Deltas[0].Ratio != 1 {
+		t.Errorf("tie ratio = %v, want 1", r.Deltas[0].Ratio)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	const old = 1e8
+	// Exactly at old·(1+tol): not a regression (strict inequality).
+	if r := compareOne(t, old, old*1.25, CompareOptions{TimeTolerance: 0.25}); r.HasRegressions() {
+		t.Errorf("delta exactly at tolerance gated; boundary must be exclusive")
+	}
+	// Just over: a regression.
+	r := compareOne(t, old, old*1.25+1e3, CompareOptions{TimeTolerance: 0.25})
+	if !r.HasRegressions() {
+		t.Errorf("delta just over tolerance not gated")
+	}
+	if r.Deltas[0].Status != StatusRegression {
+		t.Errorf("status = %s, want regression", r.Deltas[0].Status)
+	}
+}
+
+func TestCompareTwoXSlowdownRegresses(t *testing.T) {
+	r := compareOne(t, 1e8, 2e8, CompareOptions{})
+	if !r.HasRegressions() {
+		t.Fatal("a 2x slowdown above the noise floor must regress under defaults")
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	r := compareOne(t, 2e8, 1e8, CompareOptions{})
+	if r.HasRegressions() || r.Deltas[0].Status != StatusImprovement {
+		t.Errorf("2x speedup classified %s, want improvement", r.Deltas[0].Status)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// Both sides under the 5ms default floor: a 2x delta is noise.
+	r := compareOne(t, float64(2*time.Millisecond), float64(4*time.Millisecond), CompareOptions{})
+	if r.HasRegressions() {
+		t.Errorf("sub-floor 2x delta gated; MinTime floor not applied")
+	}
+	// Disabling the floor re-arms the gate.
+	r = compareOne(t, float64(2*time.Millisecond), float64(4*time.Millisecond), CompareOptions{MinTime: -1})
+	if !r.HasRegressions() {
+		t.Errorf("MinTime<0 should disable the floor")
+	}
+}
+
+func TestCompareHigherIsBetter(t *testing.T) {
+	mk := func(v float64) *Baseline {
+		return &Baseline{
+			SchemaVersion: SchemaVersion,
+			Metrics: []Metric{{Experiment: "coarsen", Instance: "g", Name: "rate",
+				Unit: "size/s", Direction: HigherIsBetter, Value: v}},
+		}
+	}
+	r, err := Compare(mk(1e7), mk(5e6), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasRegressions() {
+		t.Errorf("halved rate not gated")
+	}
+	r, err = Compare(mk(1e7), mk(2e7), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deltas[0].Status != StatusImprovement {
+		t.Errorf("doubled rate classified %s, want improvement", r.Deltas[0].Status)
+	}
+}
+
+func TestCompareMissingInOldIsNew(t *testing.T) {
+	oldB, newB := pair(1e8, 1e8)
+	extra := newB.Metrics[0]
+	extra.Instance = "brand-new-graph"
+	extra.Value = 9e9 // enormous, but a new metric must never gate
+	newB.Metrics = append(newB.Metrics, extra)
+	r, err := Compare(oldB, newB, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() {
+		t.Error("metric missing from the old baseline caused a regression")
+	}
+	if r.NewMetrics != 1 {
+		t.Errorf("NewMetrics = %d, want 1", r.NewMetrics)
+	}
+}
+
+func TestCompareMissingInNew(t *testing.T) {
+	oldB, newB := pair(1e8, 1e8)
+	extra := oldB.Metrics[0]
+	extra.Instance = "dropped-graph"
+	oldB.Metrics = append(oldB.Metrics, extra)
+
+	r, err := Compare(oldB, newB, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() || r.Missing != 1 {
+		t.Errorf("default missing handling: regressions=%d missing=%d, want 0/1", r.Regressions, r.Missing)
+	}
+	r, err = Compare(oldB, newB, CompareOptions{FailOnMissing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasRegressions() {
+		t.Error("FailOnMissing did not gate a dropped metric")
+	}
+}
+
+func TestCompareInfoNeverGates(t *testing.T) {
+	mk := func(v float64) *Baseline {
+		return &Baseline{
+			SchemaVersion: SchemaVersion,
+			Metrics: []Metric{{Experiment: "coarsen", Instance: "g", Name: "levels",
+				Unit: "levels", Direction: Informational, Value: v}},
+		}
+	}
+	r, err := Compare(mk(5), mk(50), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() || r.Deltas[0].Status != StatusInfo {
+		t.Errorf("info metric classified %s with %d regressions", r.Deltas[0].Status, r.Regressions)
+	}
+}
+
+func TestCompareSchemaVersionMismatch(t *testing.T) {
+	oldB, newB := pair(1e8, 1e8)
+	oldB.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(oldB, newB, CompareOptions{}); err == nil {
+		t.Fatal("Compare accepted mismatched schema versions")
+	}
+}
+
+func TestCompareEnvNotes(t *testing.T) {
+	oldB, newB := pair(1e8, 1e8)
+	newB.Env.GOMAXPROCS = 8
+	newB.Env.GoVersion = "go1.25.0"
+	r, err := Compare(oldB, newB, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.EnvNotes) < 2 {
+		t.Errorf("EnvNotes = %v, want gomaxprocs and go_version notes", r.EnvNotes)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf, false)
+	if !strings.Contains(buf.String(), "gomaxprocs differs") {
+		t.Errorf("Format dropped the env notes:\n%s", buf.String())
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	r := compareOne(t, 1e8, 3e8, CompareOptions{})
+	var buf bytes.Buffer
+	r.Format(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "regression") || !strings.Contains(out, "coarsen/g/hec/sort/w=1/total_ns") {
+		t.Errorf("report missing the regression row:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regressions") {
+		t.Errorf("report missing the summary line:\n%s", out)
+	}
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"mlcg/internal/coarsen"
+	"mlcg/internal/graph"
+	"mlcg/internal/obs"
+)
+
+// RunConfig selects the slice of the table/figure suite a baseline run
+// measures. It is recorded verbatim in the baseline file so a comparison
+// can verify both sides measured the same thing.
+type RunConfig struct {
+	// Suite names the slice ("fast", "full", or "custom" after overrides).
+	Suite string `json:"suite"`
+	// Runs is the repetitions per measurement; the median is recorded.
+	Runs int `json:"runs"`
+	// Scale multiplies suite sizes (bench.Options.Scale).
+	Scale int `json:"scale"`
+	// Seed drives every random choice (0 = the harness default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers lists the worker counts to sweep; 0 means GOMAXPROCS and is
+	// resolved (and de-duplicated) at run time.
+	Workers []int `json:"workers"`
+	// Instances restricts the Table I analog suite by name.
+	Instances []string `json:"instances"`
+	// Mappers and Builders select the measured combinations.
+	Mappers  []string `json:"mappers"`
+	Builders []string `json:"builders"`
+	// Counters adds one traced repetition per combination and records the
+	// obs counter totals (hash probes, CAS retries, ...) as info metrics.
+	Counters bool `json:"counters"`
+}
+
+// FastConfig is the CI slice: two small instances (one regular, one
+// skewed), the two headline mappers, and the sort/hash construction pair
+// the paper's Tables II/III compare. It finishes in seconds.
+func FastConfig() RunConfig {
+	return RunConfig{
+		Suite:     "fast",
+		Runs:      3,
+		Scale:     1,
+		Workers:   []int{1, 0},
+		Instances: []string{"channel050", "mycielskian17"},
+		Mappers:   []string{"hec", "hem"},
+		Builders:  []string{"sort", "hash"},
+		Counters:  true,
+	}
+}
+
+// FullConfig covers the whole 20-instance suite with the Table II-IV
+// method set — the slice to record for a committed baseline refresh on a
+// quiet machine.
+func FullConfig() RunConfig {
+	cfg := RunConfig{
+		Suite:    "full",
+		Runs:     5,
+		Scale:    1,
+		Workers:  []int{1, 0},
+		Mappers:  []string{"hec", "hem", "twohop", "gosh"},
+		Builders: []string{"sort", "hash", "spgemm"},
+		Counters: true,
+	}
+	for _, inst := range (Options{}).Suite() {
+		cfg.Instances = append(cfg.Instances, inst.Name)
+	}
+	return cfg
+}
+
+// ConfigByName returns the named suite slice.
+func ConfigByName(name string) (RunConfig, error) {
+	switch name {
+	case "fast":
+		return FastConfig(), nil
+	case "full":
+		return FullConfig(), nil
+	}
+	return RunConfig{}, fmt.Errorf("bench: unknown suite slice %q (want fast or full)", name)
+}
+
+// resolvedWorkers maps 0 to GOMAXPROCS and drops duplicates, preserving
+// order (on a single-core host {1, 0} collapses to {1}).
+func resolvedWorkers(ws []int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, w := range ws {
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{runtime.GOMAXPROCS(0)}
+	}
+	return out
+}
+
+// RunBaseline measures the configured slice and returns the baseline
+// (environment fingerprint included, CreatedAt left to the caller). For
+// every instance × mapper × builder × workers combination it records
+// median total/map/build wall times with raw samples, the coarsening rate
+// ((2m+n)/s, the paper's Fig 3 metric), levels, and the coarsening ratio;
+// with Counters set, one extra traced repetition records the obs counter
+// totals.
+func RunBaseline(cfg RunConfig) (*Baseline, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	opt := Options{Runs: cfg.Runs, Scale: cfg.Scale, Seed: cfg.Seed, Only: cfg.Instances}
+	insts := opt.Suite()
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("bench: no suite instances match %v", cfg.Instances)
+	}
+	workers := resolvedWorkers(cfg.Workers)
+	if len(cfg.Mappers) == 0 {
+		cfg.Mappers = []string{"hec"}
+	}
+	if len(cfg.Builders) == 0 {
+		cfg.Builders = []string{"sort"}
+	}
+
+	b := &Baseline{SchemaVersion: SchemaVersion, Env: CaptureEnvironment(), Config: cfg}
+	for _, inst := range insts {
+		for _, mname := range cfg.Mappers {
+			mapper, err := coarsen.MapperByName(mname)
+			if err != nil {
+				return nil, err
+			}
+			for _, bname := range cfg.Builders {
+				builder, err := coarsen.BuilderByName(bname)
+				if err != nil {
+					return nil, err
+				}
+				for _, w := range workers {
+					ms, err := measureCombo(inst.Name, inst.Graph, mapper, builder, w, opt, cfg.Counters)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s/%s/%s/w=%d: %w", inst.Name, mname, bname, w, err)
+					}
+					b.Metrics = append(b.Metrics, ms...)
+				}
+			}
+		}
+	}
+	b.Sort()
+	return b, nil
+}
+
+// measureCombo times one instance × mapper × builder × workers cell.
+func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, opt Options, counters bool) ([]Metric, error) {
+	type sample struct{ total, mapT, build time.Duration }
+	samples := make([]sample, opt.runs())
+	var levels int
+	var cr float64
+	for i := range samples {
+		h, err := hierarchyFor(g, mapper, builder, workers, opt.seed())
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = sample{h.TotalTime(), h.MapTime(), h.BuildTime()}
+		levels = h.Levels()
+		cr = h.CoarseningRatio()
+	}
+	// Report the run with the median total so map/build/total stay
+	// internally consistent, but keep every raw total for noise analysis.
+	bySample := append([]sample(nil), samples...)
+	sort.Slice(bySample, func(a, c int) bool { return bySample[a].total < bySample[c].total })
+	med := bySample[len(bySample)/2]
+	raw := make([]float64, len(samples))
+	for i, s := range samples {
+		raw[i] = float64(s.total)
+	}
+
+	id := Metric{Experiment: "coarsen", Instance: inst, Mapper: mapper.Name(), Builder: builder.Name(), Workers: workers}
+	mk := func(name, unit string, dir Direction, v float64) Metric {
+		m := id
+		m.Name, m.Unit, m.Direction, m.Value = name, unit, dir, v
+		return m
+	}
+	total := mk("total_ns", "ns", LowerIsBetter, float64(med.total))
+	total.Samples = raw
+	out := []Metric{
+		total,
+		mk("map_ns", "ns", LowerIsBetter, float64(med.mapT)),
+		mk("build_ns", "ns", LowerIsBetter, float64(med.build)),
+		mk("rate", "size/s", HigherIsBetter, float64(g.Size())/med.total.Seconds()),
+		mk("levels", "levels", Informational, float64(levels)),
+		mk("coarsening_ratio", "ratio", Informational, cr),
+	}
+	if counters {
+		if tr := obs.StartTrace("bench-counters"); tr != nil {
+			_, err := hierarchyFor(g, mapper, builder, workers, opt.seed())
+			tr.Stop()
+			if err != nil {
+				return nil, err
+			}
+			totals := tr.Root.Counters()
+			names := make([]string, 0, len(totals))
+			for n := range totals {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				out = append(out, mk("ctr_"+n, "count", Informational, float64(totals[n])))
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,5 +1,3 @@
-// Package cli holds helpers shared by the command-line tools: input
-// loading in all supported formats, and the named synthetic generators.
 package cli
 
 import (

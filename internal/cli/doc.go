@@ -1,0 +1,31 @@
+// Package cli holds the helpers shared by every command under cmd/: input
+// loading in all supported formats, the named synthetic generators, and
+// the profiling/tracing flag plumbing, so the tools stay thin wrappers
+// over the internal packages.
+//
+// # Flag conventions
+//
+// The commands share a vocabulary so that muscle memory transfers:
+//
+//	-in FILE, -format F   load a graph (edgelist, metis, binary; Formats)
+//	-gen NAME             or generate one (grid2d, rmat, ba, ...; Generators)
+//	-seed N               every random choice derives from one seed
+//	-workers N            parallelism; 0 means GOMAXPROCS
+//	-runs N               repetitions per measurement, median reported
+//	-only a,b             restrict the Table I suite to named instances
+//	-json                 machine-readable rows instead of formatted text
+//	-cpuprofile/-memprofile FILE   pprof capture (StartProfiles)
+//	-trace FILE, -metrics          kernel tracing (StartObs, internal/obs)
+//
+// Tools exit 0 on success, 1 on runtime errors, and 2 on usage errors
+// (undefined flags, bad flag values, missing arguments).
+//
+// # Lifecycle helpers
+//
+// StartProfiles and StartObs both return a stop function that must run
+// exactly once after the measured work — several mains exit via os.Exit,
+// which skips defers, so the commands call stop explicitly and fold its
+// error into the exit code. StartObs wires the shared -trace/-metrics
+// flags into internal/obs: when both are off it returns a no-op stop and
+// tracing stays disabled, preserving the zero-overhead path.
+package cli

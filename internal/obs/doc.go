@@ -1,0 +1,64 @@
+// Package obs is the kernel-level tracing and runtime-metrics layer of the
+// module. It gives every coarsening run the lens the paper's evaluation is
+// built on — *where the time goes* — at the granularity the whole-table
+// benchmarks cannot see: per mapping pass, per construction phase, per
+// parallel kernel, per worker.
+//
+// The layer has three pieces:
+//
+//   - Hierarchical spans (run → level → phase → kernel) carrying wall time
+//     plus per-worker busy time, so load imbalance is computable per kernel.
+//     The orchestrating goroutine opens spans with StartKernel/Done; the
+//     parallel runtime (internal/par) reports each worker's busy time into
+//     the ambient span automatically.
+//   - Named atomic counters (Counter) for the hot-path events that exist in
+//     the algorithms but were previously uncounted: CAS retries in the
+//     reservation rounds, suitor spin iterations, epoch-hash probes and
+//     collisions, radix-sort passes, workspace bytes reused vs. allocated.
+//   - Exporters: a Chrome trace_event-compatible JSON trace (export.go), a
+//     flat text metrics dump, and pprof labels on worker goroutines (applied
+//     by internal/par when a trace is active).
+//
+// # Span hierarchy
+//
+// A coarsening run produces the tree
+//
+//	run                      (StartTrace root; one per tool invocation)
+//	└── level <i>            one per hierarchy level, from Coarsener.Run
+//	    ├── map:<mapper>     the mapping phase
+//	    │   └── <kernel>...  e.g. hec:setup, hec:pass
+//	    └── build:<builder>  the construction phase
+//	        └── <kernel>...  e.g. cons:count, cons:scatter, dedup:sort
+//
+// cmd/mlcg-tracecheck validates this structure (well-formed events,
+// laminar nesting); coarsen.LevelStats.Span keeps a pointer to each
+// level's span so callers can drill in without walking the whole tree.
+//
+// # Consumers
+//
+// Besides the -trace/-metrics flags on every tool (internal/cli.StartObs),
+// the benchmark-baseline runner (internal/bench.RunBaseline) wraps one
+// repetition per measured combination in a trace and records the
+// subtree-aggregated counter totals (Span.Counters) as ctr_* metrics in
+// BENCH_*.json files, so counter drift — more hash probes, more CAS
+// retries — shows up in baseline comparisons alongside wall times.
+//
+// # Zero overhead when disabled
+//
+// Tracing is off unless a Trace is installed with StartTrace. Every entry
+// point a hot path can reach begins with a single ambient-pointer load and
+// a nil check: no allocation, no atomic read-modify-write, no lock.
+// TestObsDisabledZeroAlloc proves the allocation claim with
+// testing.AllocsPerRun; BenchmarkObsOverhead (in internal/coarsen) bounds
+// the throughput delta of the instrumented disabled path.
+//
+// # Concurrency model
+//
+// The ambient span stack (StartTrace/StartKernel/Done) is manipulated only
+// by the orchestrating goroutine — the one that calls the par primitives,
+// never from inside a parallel region. Worker goroutines concurrently
+// *report into* the current span (BusyAdd, Add, Child), which is safe:
+// busy slots and counters are atomic adds, and child-span creation takes
+// the span's mutex. One trace is active at a time; installing a second
+// trace while one is active returns nil.
+package obs
