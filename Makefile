@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism fuzz bench bench-construct bench-json bench-check bench-baseline tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-json bench-check bench-baseline tables figures trace verify clean
 
 all: build test
 
@@ -18,15 +18,34 @@ race:
 
 # Cross-worker determinism gate: the canonical-ID guarantee (byte-identical
 # mappings, coarse graphs, and hierarchies at p = 1, 2, 4, 8) checked with
-# enough OS threads that the p = 8 runs actually interleave.
+# enough OS threads that the p = 8 runs actually interleave, plus the
+# coarse-graph invariant harness (every mapper × builder × worker count).
 test-determinism:
-	GOMAXPROCS=8 $(GO) test -run 'Determinism|Deterministic|Canonicalize' ./internal/par/... ./internal/coarsen/...
+	GOMAXPROCS=8 $(GO) test -run 'Determinism|Deterministic|Canonicalize|CoarseInvariants|WorkspaceReuse' ./internal/par/... ./internal/coarsen/...
+
+# Static analysis: vet always; staticcheck when it is installed (the
+# pinned dev container has no network to fetch it, CI installs it).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # Short fuzz pass over every parser target.
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzReadMetis -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s -run=Fuzz ./internal/graph/
+	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=30s -run=Fuzz ./internal/graph/
+	$(GO) test -fuzz=FuzzHierIO -fuzztime=30s -run=Fuzz ./internal/coarsen/
+
+# The CI slice of `fuzz`: 20s per target on the two structured-input
+# targets introduced with the adaptive-construction PR.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=20s -run=Fuzz ./internal/graph/
+	$(GO) test -fuzz=FuzzHierIO -fuzztime=20s -run=Fuzz ./internal/coarsen/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -31,7 +31,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "edgelist", "input format: "+cli.Formats())
 	genName := fs.String("gen", "", "generate input instead: "+cli.Generators())
 	mapper := fs.String("mapper", "hec", "mapping algorithm: "+strings.Join(coarsen.MapperNames(), ", "))
-	builder := fs.String("builder", "sort", "construction strategy: "+strings.Join(coarsen.BuilderNames(), ", "))
+	construct := fs.String("construct", "auto", "construction policy: "+cli.ConstructPolicies())
+	builder := fs.String("builder", "", "fixed construction strategy (overrides -construct): "+strings.Join(coarsen.BuilderNames(), ", "))
 	cutoff := fs.Int("cutoff", 50, "coarsening cutoff")
 	seed := fs.Uint64("seed", 20210517, "random seed")
 	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
@@ -61,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	b, err := coarsen.BuilderByName(*builder)
+	b, err := cli.PickBuilder(*construct, *builder)
 	if err != nil {
 		return fail(err)
 	}
@@ -90,12 +91,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := g.ComputeStats()
 	fmt.Fprintf(stdout, "input: n=%d m=%d skew=%.1f\n", s.N, s.M, s.Skew)
-	fmt.Fprintf(stdout, "%-6s %10s %10s %12s %12s\n", "level", "n", "m", "map(ms)", "build(ms)")
+	fmt.Fprintf(stdout, "%-6s %10s %10s %12s %12s  %s\n", "level", "n", "m", "map(ms)", "build(ms)", "builder")
 	for i, st := range h.Stats {
-		fmt.Fprintf(stdout, "%-6d %10d %10d %12.3f %12.3f\n",
+		bcol := st.Builder
+		if st.BuildReason != "" {
+			bcol += " (" + st.BuildReason + ")"
+		}
+		fmt.Fprintf(stdout, "%-6d %10d %10d %12.3f %12.3f  %s\n",
 			i+1, st.NC, h.Graphs[i+1].M(),
 			float64(st.MapTime.Microseconds())/1000,
-			float64(st.BuildTime.Microseconds())/1000)
+			float64(st.BuildTime.Microseconds())/1000, bcol)
 	}
 	fmt.Fprintf(stdout, "levels=%d cr=%.2f total=%.3fs (map %.3fs, build %.3fs)\n",
 		h.Levels(), h.CoarseningRatio(), h.TotalTime().Seconds(),

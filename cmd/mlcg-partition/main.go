@@ -39,7 +39,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallelRefine := fs.Bool("parrefine", false, "use the fully parallel greedy refinement instead of sequential FM")
 	order := fs.String("order", "", "compute an elimination ordering instead: nd (nested dissection) or rcm")
 	mapper := fs.String("mapper", "hec", "coarse mapping: "+strings.Join(coarsen.MapperNames(), ", "))
-	builder := fs.String("builder", "sort", "construction: "+strings.Join(coarsen.BuilderNames(), ", "))
+	construct := fs.String("construct", "auto", "construction policy: "+cli.ConstructPolicies())
+	builder := fs.String("builder", "", "fixed construction (overrides -construct): "+strings.Join(coarsen.BuilderNames(), ", "))
 	seed := fs.Uint64("seed", 20210517, "random seed")
 	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "write the part vector (one id per line) to this file")
@@ -75,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		return fail(err)
 	}
-	b, err := coarsen.BuilderByName(*builder)
+	b, err := cli.PickBuilder(*construct, *builder)
 	if err != nil {
 		return fail(err)
 	}
@@ -158,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return fail(err)
 	}
 
-	fmt.Fprintf(stdout, "method=%s mapper=%s builder=%s\n", *method, *mapper, *builder)
+	fmt.Fprintf(stdout, "method=%s mapper=%s builder=%s\n", *method, *mapper, b.Name())
 	fmt.Fprintf(stdout, "edge cut: %d\n", res.Cut)
 	fmt.Fprintf(stdout, "side weights: %d / %d (imbalance %d)\n",
 		res.Weights[0], res.Weights[1], partition.Imbalance(g, res.Part))

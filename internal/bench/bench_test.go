@@ -345,8 +345,8 @@ func TestBuilderShootout(t *testing.T) {
 		if r.TSort <= 0 {
 			t.Errorf("%s: t_sort %v", r.Name, r.TSort)
 		}
-		if len(r.Ratios) != 6 {
-			t.Errorf("%s: %d ratios, want 6", r.Name, len(r.Ratios))
+		if want := len(coarsen.BuilderNames()) - 1; len(r.Ratios) != want {
+			t.Errorf("%s: %d ratios, want %d", r.Name, len(r.Ratios), want)
 		}
 		for name, v := range r.Ratios {
 			if v <= 0 {

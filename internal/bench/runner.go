@@ -36,18 +36,20 @@ type RunConfig struct {
 	Counters bool `json:"counters"`
 }
 
-// FastConfig is the CI slice: two small instances (one regular, one
-// skewed), the two headline mappers, and the sort/hash construction pair
-// the paper's Tables II/III compare. It finishes in seconds.
+// FastConfig is the CI slice: three small instances (one regular, two
+// skewed), the two headline mappers, the sort/hash construction pair the
+// paper's Tables II/III compare, and the adaptive auto policy so that
+// regressions in the policy itself — not just in the fixed kernels — are
+// gated. It finishes in seconds.
 func FastConfig() RunConfig {
 	return RunConfig{
 		Suite:     "fast",
 		Runs:      3,
 		Scale:     1,
 		Workers:   []int{1, 0},
-		Instances: []string{"channel050", "mycielskian17"},
+		Instances: []string{"channel050", "mycielskian17", "ic04"},
 		Mappers:   []string{"hec", "hem"},
-		Builders:  []string{"sort", "hash"},
+		Builders:  []string{"sort", "hash", "auto"},
 		Counters:  true,
 	}
 }
@@ -62,7 +64,7 @@ func FullConfig() RunConfig {
 		Scale:    1,
 		Workers:  []int{1, 0},
 		Mappers:  []string{"hec", "hem", "twohop", "gosh"},
-		Builders: []string{"sort", "hash", "spgemm"},
+		Builders: []string{"sort", "hash", "spgemm", "auto"},
 		Counters: true,
 	}
 	for _, inst := range (Options{}).Suite() {
@@ -154,6 +156,15 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 
 // measureCombo times one instance × mapper × builder × workers cell.
 func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, opt Options, counters bool) ([]Metric, error) {
+	// Bench hygiene: level the heap across combos (testing.B does the same
+	// before timing) and run one untimed warmup repetition so no builder
+	// pays first-touch page faults for its scratch buffers inside the timed
+	// samples. On small instances both effects exceed the builder
+	// differences being measured.
+	runtime.GC()
+	if _, err := hierarchyFor(g, mapper, builder, workers, opt.seed()); err != nil {
+		return nil, err
+	}
 	type sample struct{ total, mapT, build time.Duration }
 	samples := make([]sample, opt.runs())
 	var levels int

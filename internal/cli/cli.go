@@ -7,12 +7,39 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"mlcg/internal/coarsen"
 	"mlcg/internal/gen"
 	"mlcg/internal/graph"
 )
 
 // Formats lists the supported -format values.
 func Formats() string { return "edgelist, metis, binary" }
+
+// ConstructPolicies documents the -construct flag values shared by the
+// coarsening commands.
+func ConstructPolicies() string {
+	return "auto, probe, or a fixed builder (" + strings.Join(coarsen.BuilderNames(), ", ") + ")"
+}
+
+// PickBuilder resolves the -construct/-builder flag pair shared by the
+// coarsening commands. construct selects the construction policy: "auto"
+// (the commands' default) dispatches per level via coarsen.AutoConstruct,
+// "probe" additionally times the regime candidates on the first level, and
+// any registered builder name pins that fixed strategy. A non-empty
+// builder — the pre-policy flag, kept as an explicit override — wins over
+// construct.
+func PickBuilder(construct, builder string) (coarsen.Builder, error) {
+	if builder != "" {
+		return coarsen.BuilderByName(builder)
+	}
+	switch construct {
+	case "", "auto":
+		return &coarsen.AutoConstruct{}, nil
+	case "probe":
+		return &coarsen.AutoConstruct{Probe: true}, nil
+	}
+	return coarsen.BuilderByName(construct)
+}
 
 // Generators lists the supported -gen values.
 func Generators() string { return "grid2d, grid3d, trimesh, rgg, rmat, ba, road, chain, web" }

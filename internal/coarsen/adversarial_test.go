@@ -1,6 +1,7 @@
 package coarsen
 
 import (
+	"fmt"
 	"testing"
 
 	"mlcg/internal/graph"
@@ -150,6 +151,174 @@ func TestHugeWeightsNoOverflow(t *testing.T) {
 		}
 		if got := cg.TotalEdgeWeight() + intra; got != total {
 			t.Errorf("%s: weight %d, want %d", bname, got, total)
+		}
+	}
+}
+
+// policyBuilders are the construction strategies the auto decision rule
+// can dispatch to, plus the policy itself.
+func policyBuilders(t *testing.T) []Builder {
+	t.Helper()
+	var out []Builder
+	for _, name := range []string{"sort", "hash", "segsort", "spgemm", "globalsort", "auto"} {
+		b, err := BuilderByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestAutoPolicyEdgeCases drives every policy-selectable builder (and the
+// policy itself) through the degenerate inputs that break dispatch
+// surfaces: the empty graph, a single vertex, a star, an already-coarsest
+// identity mapping, and a level that densifies to near-clique. Each output
+// must satisfy the full coarse-graph invariant battery.
+func TestAutoPolicyEdgeCases(t *testing.T) {
+	star := func(leaves int) *graph.Graph {
+		var e []graph.Edge
+		for i := 1; i <= leaves; i++ {
+			e = append(e, graph.Edge{U: 0, V: int32(i), W: int64(i%5 + 1)})
+		}
+		return graph.MustFromEdges(leaves+1, e)
+	}
+	starMap := func(leaves int) *Mapping {
+		// Hub keeps its own aggregate; leaves merge pairwise.
+		m := make([]int32, leaves+1)
+		for i := 1; i <= leaves; i++ {
+			m[i] = 1 + int32(i-1)/2
+		}
+		return &Mapping{M: m, NC: 1 + int32((leaves+1)/2)}
+	}
+	identity := func(n int) *Mapping {
+		m := make([]int32, n)
+		for i := range m {
+			m[i] = int32(i)
+		}
+		return &Mapping{M: m, NC: int32(n)}
+	}
+	bip := completeBipartite(40, 40)
+	bipMap := make([]int32, bip.N())
+	for u := range bipMap {
+		bipMap[u] = int32(u % 2)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		m    *Mapping
+	}{
+		{"empty", graph.MustFromEdges(0, nil), &Mapping{M: []int32{}, NC: 0}},
+		{"singleVertex", graph.MustFromEdges(1, nil), &Mapping{M: []int32{0}, NC: 1}},
+		{"star", star(64), starMap(64)},
+		{"alreadyCoarsest", increasingChain(100), identity(100)},
+		{"nearClique", bip, &Mapping{M: bipMap, NC: 2}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(tc.g.N()); err != nil {
+			t.Fatalf("%s: bad test mapping: %v", tc.name, err)
+		}
+		for _, b := range policyBuilders(t) {
+			for _, p := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", tc.name, b.Name(), p), func(t *testing.T) {
+					cg, err := b.Build(tc.g, tc.m, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					CheckCoarseInvariants(t, tc.g, tc.m, cg)
+				})
+			}
+		}
+	}
+}
+
+// TestAutoDecisionRuleCoverage pins the decision rule's branch map: each
+// adversarial regime must select the documented builder, and between them
+// the regimes must reach every builder the policy can dispatch to.
+func TestAutoDecisionRuleCoverage(t *testing.T) {
+	cases := []struct {
+		name            string
+		m               int64
+		nc              int32
+		skew, dens      float64
+		p               int
+		builder, reason string
+	}{
+		{"empty", 0, 0, 0, 0, 1, "sort", "trivial-level"},
+		{"singleCoarseVertex", 500, 1, 1, 0, 4, "sort", "trivial-level"},
+		{"tinyStar", 64, 33, 30, 0.1, 4, "hash", "tiny-level"},
+		{"nearClique", 1600, 2, 1.0, 1600, 1, "spgemm", "near-clique"},
+		{"denseFoldSerial", 121269, 613, 4.8, 0.65, 1, "hash", "dense-fold"},
+		{"denseFoldParallel", 121269, 613, 4.8, 0.65, 4, "hash", "dense-fold"},
+		{"serialRegular", 3000, 1000, 1.9, 0.006, 1, "globalsort", "serial-default"},
+		{"parallelSkewed", 3000, 1000, 1500, 0.006, 4, "segsort", "skewed-parallel"},
+		{"parallelRegular", 3000, 1000, 1.9, 0.006, 4, "sort", "regular-parallel"},
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		name, reason := decideConstruct(tc.m, tc.nc, tc.skew, tc.dens, tc.p)
+		if name != tc.builder || reason != tc.reason {
+			t.Errorf("%s: decide = (%s, %s), want (%s, %s)", tc.name, name, reason, tc.builder, tc.reason)
+		}
+		covered[name] = true
+	}
+	for _, want := range []string{"sort", "hash", "segsort", "spgemm", "globalsort"} {
+		if !covered[want] {
+			t.Errorf("decision rule never selects %s", want)
+		}
+	}
+}
+
+// TestWorkspaceReuseAcrossBuilderSwitch is the regression test for the
+// builder-switching workspace hazard the auto policy introduces: one
+// Workspace now serves different builders (and different graphs) level
+// after level, so buffers sized and epoch-stamped by builder A are handed
+// to builder B. Every build through the battle-worn shared workspace must
+// be byte-identical to the same build on a fresh one.
+func TestWorkspaceReuseAcrossBuilderSwitch(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"bipartite", completeBipartite(12, 40)},
+		{"starOfStars", starOfStars(4, 5)},
+		{"chain", increasingChain(500)},
+	}
+	order := []string{"sort", "hash", "segsort", "spgemm", "globalsort", "hash", "heap", "hybrid", "sort", "segsort"}
+	shared := NewWorkspace()
+	for round := 0; round < 2; round++ {
+		// Interleave graphs of different sizes so buffers are grown, then
+		// reused smaller, then regrown — the sizing hazard, not just the
+		// staleness hazard.
+		for _, tg := range graphs {
+			m, err := HEC{}.Map(tg.g, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{1, 4} {
+				for _, bn := range order {
+					b, err := BuilderByName(bn)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wb, ok := b.(WorkspaceBuilder)
+					if !ok {
+						t.Fatalf("%s: not a WorkspaceBuilder", bn)
+					}
+					got, err := wb.BuildWith(shared, tg.g, m, p)
+					if err != nil {
+						t.Fatalf("round %d %s/%s/p%d (shared): %v", round, tg.name, bn, p, err)
+					}
+					want, err := wb.BuildWith(NewWorkspace(), tg.g, m, p)
+					if err != nil {
+						t.Fatalf("%s/%s/p%d (fresh): %v", tg.name, bn, p, err)
+					}
+					if !rawEqual(got, want) {
+						t.Fatalf("round %d %s/%s/p%d: shared-workspace CSR differs from fresh-workspace CSR",
+							round, tg.name, bn, p)
+					}
+				}
+			}
 		}
 	}
 }

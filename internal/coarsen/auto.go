@@ -1,0 +1,311 @@
+package coarsen
+
+import (
+	"time"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/obs"
+	"mlcg/internal/par"
+)
+
+// Thresholds of the adaptive construction policy. Calibrated against the
+// per-level builder shootout recorded in BENCH_baseline.json on the
+// reference host (see DESIGN.md, "Adaptive construction"); the numbers are
+// deliberately coarse — the regimes they separate differ by integer
+// factors, not percents.
+const (
+	// autoTinyEdges is the edge count below which the hash builder's small
+	// constant factor beats every sort-based strategy regardless of worker
+	// count (measured: hash wins or ties every calibrated level with
+	// m <= 1024; all such levels finish in well under 50µs).
+	autoTinyEdges = 1024
+
+	// autoCliqueDensity is the estimated coarse density 2m/nc² above which
+	// the level is collapsing toward a clique with edge duplication so
+	// extreme that the SpGEMM dense accumulator stays flat while every
+	// sort-based strategy pays for each duplicate. The densest calibrated
+	// level (the mycielskian17 analog's final level, density 571) had
+	// spgemm beating per-bin sort and segsort but still losing to the
+	// global radix sort, so the threshold sits above everything measured
+	// and the branch covers only the asymptotic clique-collapse regime.
+	// Values far above 1 are possible because the estimate counts fine
+	// edges before deduplication.
+	autoCliqueDensity = 1000.0
+
+	// autoDenseFoldDensity marks the dense-fold regime: estimated coarse
+	// density 2m/nc² >= 0.5 means most scattered entries will merge into
+	// already-present coarse edges. Hash dedup is the robust winner there —
+	// the per-bin tables stay small and cache-resident precisely because
+	// the fold ratio is high, while any global sort drags every duplicate
+	// through all of its radix passes (calibrated on the mycielskian17
+	// analog: hash beats the global sort by 1.3-1.4x on its HEM levels,
+	// density 0.65-2.2, and is within measurement noise of the field on
+	// its density-571 HEC level).
+	autoDenseFoldDensity = 0.5
+)
+
+// Choice records one per-level decision of the AutoConstruct policy.
+type Choice struct {
+	// Level is the 0-based level index within the current hierarchy.
+	Level int
+	// Builder is the name of the dispatched builder and Reason the stable
+	// decision-rule code that selected it (trivial-level, tiny-level,
+	// near-clique, serial-default, skewed-parallel, regular-parallel,
+	// probe-winner).
+	Builder string
+	Reason  string
+	// Probed marks a decision made by timing candidates rather than by the
+	// static rule.
+	Probed bool
+	// The statistics the rule saw: fine vertex/edge counts, coarse vertex
+	// count, degree skew Δ/(2m/n), coarsening ratio n/nc, and the estimated
+	// coarse density 2m/nc².
+	N       int32
+	NC      int32
+	M       int64
+	Skew    float64
+	Ratio   float64
+	Density float64
+}
+
+// AutoConstruct is the adaptive per-level construction policy: each Build
+// computes cheap statistics of the (fine graph, mapping) pair and
+// dispatches to the builder the calibrated decision rule predicts to be
+// fastest for that level. The rule (decideConstruct) is a pure function of
+// the statistics and the worker count, so the policy inherits the
+// schedule-independence guarantee of the underlying builders: branches
+// that depend on the worker count only ever switch between builders that
+// emit byte-identical canonical CSR (sort, segsort, globalsort), while the
+// branches selecting hash or spgemm — whose adjacency order differs — are
+// worker-count-independent.
+//
+// With Probe set, the first non-trivial level additionally times the two
+// regime candidates back to back and locks the measured winner in for the
+// rest of the hierarchy (the paper's "try both once" portability
+// fallback). Probing is off by default because it makes the choice
+// timing-dependent across runs; within a run determinism still holds
+// because the candidates share output order.
+type AutoConstruct struct {
+	// Probe enables first-level candidate timing (see type comment).
+	Probe bool
+
+	// locked is the probe winner ("" until a probe has run); it replaces
+	// the static pick of the sorted-family regimes for subsequent levels.
+	locked string
+	// level counts Build calls since BeginHierarchy, for Choice records.
+	level   int
+	last    *Choice
+	choices []Choice
+}
+
+// Name implements Builder.
+func (b *AutoConstruct) Name() string { return "auto" }
+
+// BeginHierarchy resets the per-hierarchy state (level counter, choice log,
+// probe lock). Coarsener.Run calls it before the first level.
+func (b *AutoConstruct) BeginHierarchy() {
+	b.locked = ""
+	b.level = 0
+	b.last = nil
+	b.choices = b.choices[:0]
+}
+
+// LastChoice returns the decision of the most recent Build (nil before the
+// first).
+func (b *AutoConstruct) LastChoice() *Choice { return b.last }
+
+// Choices returns the decision log since the last BeginHierarchy.
+func (b *AutoConstruct) Choices() []Choice { return append([]Choice(nil), b.choices...) }
+
+// Build implements Builder with a private workspace.
+func (b *AutoConstruct) Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	return b.BuildWith(NewWorkspace(), g, m, p)
+}
+
+// BuildWith implements WorkspaceBuilder: it decides, records the choice,
+// and forwards the shared workspace to the chosen builder.
+func (b *AutoConstruct) BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	if err := m.Validate(g.N()); err != nil {
+		return nil, err
+	}
+	n, edges, nc := g.NumV, g.M(), m.NC
+	skew := g.DegreeSkew()
+	dens := 0.0
+	if nc > 0 {
+		dens = 2 * float64(edges) / (float64(nc) * float64(nc))
+	}
+	// The rule sees the resolved parallelism (0 means GOMAXPROCS all the
+	// way down to the kernels, but the serial-vs-parallel branches need
+	// the actual degree). n bounds it the same way par.Workers does for
+	// the builders themselves.
+	rp := par.Workers(p, int(n))
+	name, reason := decideConstruct(edges, nc, skew, dens, rp)
+	if b.locked != "" && sortedFamily[name] {
+		name, reason = b.locked, "probe-winner"
+	}
+
+	ch := Choice{
+		Level: b.level, Builder: name, Reason: reason,
+		N: n, NC: nc, M: edges, Skew: skew, Ratio: m.Ratio(), Density: dens,
+	}
+
+	var cg *graph.Graph
+	var err error
+	if b.Probe && b.locked == "" && sortedFamily[name] {
+		cg, err = b.probe(ws, g, m, p, rp, &ch)
+	} else {
+		cg, err = dispatchConstruct(name, ws, g, m, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	b.level++
+	b.last = &ch
+	b.choices = append(b.choices, ch)
+	obs.Add(counterForBuilder(ch.Builder), 1)
+	if obs.Enabled() {
+		// A zero-width marker span makes the per-level decision visible in
+		// the trace tree under the enclosing build span.
+		obs.StartKernel("policy:" + ch.Builder + ":" + ch.Reason).Done()
+	}
+	return cg, nil
+}
+
+// probe times the static pick against the other sorted-family candidate of
+// the current regime (rp is the resolved parallelism), locks the winner
+// in, and returns the winner's output (both candidates emit identical
+// CSR, so either output is the answer — the faster one's is simply the
+// one we keep).
+func (b *AutoConstruct) probe(ws *Workspace, g *graph.Graph, m *Mapping, p, rp int, ch *Choice) (*graph.Graph, error) {
+	alt := "sort"
+	if ch.Builder == "sort" {
+		if rp <= 1 {
+			alt = "globalsort"
+		} else {
+			alt = "segsort"
+		}
+	}
+	obs.Add(obs.CtrAutoProbe, 2)
+	t0 := time.Now()
+	cg, err := dispatchConstruct(ch.Builder, ws, g, m, p)
+	if err != nil {
+		return nil, err
+	}
+	dMain := time.Since(t0)
+	t0 = time.Now()
+	cgAlt, err := dispatchConstruct(alt, ws, g, m, p)
+	if err != nil {
+		return nil, err
+	}
+	if time.Since(t0) < dMain {
+		ch.Builder, cg = alt, cgAlt
+	}
+	ch.Probed, ch.Reason = true, "probe-winner"
+	b.locked = ch.Builder
+	return cg, nil
+}
+
+// sortedFamily marks the builders that emit identical fully sorted
+// canonical CSR for a given (graph, mapping). Only these may be selected
+// by worker-count-dependent branches or swapped by probing, or the policy
+// would lose byte-determinism across worker counts.
+var sortedFamily = map[string]bool{"sort": true, "segsort": true, "globalsort": true}
+
+// decideConstruct is the documented decision rule: a pure function of the
+// level statistics and the worker count. Branch order matters — the
+// worker-count-independent branches (1–4) come first so that the builders
+// with non-canonical output order (hash, spgemm) are chosen identically at
+// every worker count.
+//
+//  1. No edges, or a single coarse vertex: nothing to deduplicate; the
+//     sort builder's scatter has the least setup.
+//  2. Tiny level (m <= 1024): hash — the level runs in microseconds and
+//     hash has the smallest constant factor (wins or ties every
+//     calibrated tiny level).
+//  3. Near-clique densification (2m/nc² >= 1000): spgemm — duplication is
+//     so extreme that the dense accumulator beats every sort-based
+//     strategy (asymptotic regime; the threshold sits above the densest
+//     calibrated level, where the global sort still won).
+//  4. Dense-fold (2m/nc² >= 0.5): hash — most entries merge into
+//     existing coarse edges, so the dedup tables stay cache-resident
+//     while any global sort drags every duplicate through all its passes
+//     (calibrated on the mycielskian17 analog's HEM levels). The regime is
+//     inherently low-skew (a densifying level has no room for hubs), so
+//     hash is safe at every worker count.
+//  5. Serial (p == 1): globalsort — one global radix sort avoids all
+//     partitioning overhead and won 19 of 21 calibrated levels on the
+//     reference host.
+//  6. Parallel and skewed (Δ/(2m/n) >= DefaultSkewThreshold): segsort —
+//     the segmented global sort load-balances hub bins instead of leaving
+//     one worker holding the hub (the paper's device-role result).
+//  7. Parallel and regular: sort — per-bin dedup with the contention-free
+//     scatter, the paper's Table II winner.
+func decideConstruct(m int64, nc int32, skew, dens float64, p int) (name, reason string) {
+	switch {
+	case m == 0 || nc <= 1:
+		return "sort", "trivial-level"
+	case m <= autoTinyEdges:
+		return "hash", "tiny-level"
+	case dens >= autoCliqueDensity:
+		return "spgemm", "near-clique"
+	case dens >= autoDenseFoldDensity:
+		return "hash", "dense-fold"
+	case p == 1:
+		return "globalsort", "serial-default"
+	case skew >= DefaultSkewThreshold:
+		return "segsort", "skewed-parallel"
+	default:
+		return "sort", "regular-parallel"
+	}
+}
+
+// dispatchConstruct forwards to the named underlying builder, reusing the
+// caller's workspace (the builder-switching reuse path exercised by
+// TestWorkspaceReuseAcrossBuilderSwitch).
+func dispatchConstruct(name string, ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error) {
+	var wb WorkspaceBuilder
+	switch name {
+	case "sort":
+		wb = BuildSort{}
+	case "hash":
+		wb = BuildHash{}
+	case "segsort":
+		wb = BuildSegSort{}
+	case "spgemm":
+		wb = BuildSpGEMM{}
+	case "globalsort":
+		wb = BuildGlobalSort{}
+	default:
+		wb = BuildSort{}
+	}
+	return wb.BuildWith(ws, g, m, p)
+}
+
+// counterForBuilder maps a chosen builder to its construct_policy counter.
+func counterForBuilder(name string) obs.Counter {
+	switch name {
+	case "sort":
+		return obs.CtrAutoSort
+	case "hash":
+		return obs.CtrAutoHash
+	case "segsort":
+		return obs.CtrAutoSegSort
+	case "spgemm":
+		return obs.CtrAutoSpGEMM
+	case "globalsort":
+		return obs.CtrAutoGlobalSort
+	}
+	return obs.CtrAutoSort
+}
+
+// PolicyBuilder is implemented by builders that make per-level dispatch
+// decisions. Coarsener.Run uses it to reset per-hierarchy state and to
+// record the chosen builder and reason in LevelStats.
+type PolicyBuilder interface {
+	Builder
+	// BeginHierarchy resets per-hierarchy decision state.
+	BeginHierarchy()
+	// LastChoice reports the most recent decision (nil before the first).
+	LastChoice() *Choice
+}

@@ -132,7 +132,9 @@ func MapperByName(name string) (Mapper, error) {
 }
 
 // BuilderByName returns the builder registered under name. Valid names:
-// sort, hash, spgemm, globalsort, heap, hybrid, segsort.
+// sort, hash, spgemm, globalsort, heap, hybrid, segsort, auto. The auto
+// builder is the adaptive per-level policy (a fresh stateful instance per
+// call); pass -construct probe on the CLI for its probe variant.
 func BuilderByName(name string) (Builder, error) {
 	switch name {
 	case "sort":
@@ -149,6 +151,8 @@ func BuilderByName(name string) (Builder, error) {
 		return BuildHybrid{}, nil
 	case "segsort":
 		return BuildSegSort{}, nil
+	case "auto":
+		return &AutoConstruct{}, nil
 	}
 	return nil, fmt.Errorf("coarsen: unknown builder %q", name)
 }
@@ -158,9 +162,10 @@ func MapperNames() []string {
 	return []string{"hec", "hecseq", "hec2", "hec3", "hem", "hemseq", "twohop", "mis2", "gosh", "goshhec", "suitor", "bsuitor"}
 }
 
-// BuilderNames lists the registered construction strategies.
+// BuilderNames lists the registered construction strategies (the fixed
+// kernels plus the adaptive auto policy).
 func BuilderNames() []string {
-	return []string{"sort", "hash", "spgemm", "globalsort", "heap", "hybrid", "segsort"}
+	return []string{"sort", "hash", "spgemm", "globalsort", "heap", "hybrid", "segsort", "auto"}
 }
 
 const unset = int32(-1)

@@ -1,0 +1,90 @@
+package coarsen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"mlcg/internal/gen"
+	"mlcg/internal/graph"
+)
+
+// hierBytes serializes a freshly coarsened hierarchy of g for seeding.
+func hierBytes(f *testing.F, g *graph.Graph) []byte {
+	f.Helper()
+	c := &Coarsener{Mapper: HEC{}, Builder: &AutoConstruct{}, Seed: 11, Workers: 1}
+	h, err := c.Run(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzHierIO fuzzes the hierarchy container parser: arbitrary bytes must
+// be cleanly rejected or parsed into an internally consistent hierarchy
+// that survives a Write/ReadHierarchy round trip bit-for-bit at the graph
+// level. Seeds are real serialized hierarchies from the generator suite
+// plus truncated/corrupted mutants.
+func FuzzHierIO(f *testing.F) {
+	grid := hierBytes(f, gen.Grid2D(30, 30))
+	f.Add(grid)
+	f.Add(hierBytes(f, gen.RMAT(9, 8, 3)))
+	f.Add(hierBytes(f, gen.BA(400, 3, 5)))
+	f.Add(grid[:len(grid)/2]) // truncated mid-graph
+	corrupt := append([]byte(nil), grid...)
+	corrupt[24] ^= 0xff // damage the first graph's header
+	f.Add(corrupt)
+	f.Add([]byte("not a hierarchy"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		// Bound harness memory: the first graph's binary header starts at
+		// offset 16 (after the hierarchy magic and level count) and claims
+		// its n at +8 and nnz at +16, little endian.
+		if len(in) >= 40 {
+			if binary.LittleEndian.Uint64(in[24:]) > 1<<20 || binary.LittleEndian.Uint64(in[32:]) > 1<<22 {
+				t.Skip()
+			}
+		}
+		h, err := ReadHierarchy(bytes.NewReader(in))
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		for i, g := range h.Graphs {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted hierarchy level %d invalid: %v", i, err)
+			}
+		}
+		if len(h.Maps) != len(h.Graphs)-1 {
+			t.Fatalf("accepted hierarchy has %d maps for %d graphs", len(h.Maps), len(h.Graphs))
+		}
+		var buf bytes.Buffer
+		if err := h.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h2, err := ReadHierarchy(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(h2.Graphs) != len(h.Graphs) {
+			t.Fatalf("round trip level count %d, want %d", len(h2.Graphs), len(h.Graphs))
+		}
+		for i := range h.Graphs {
+			if !graph.Equal(h.Graphs[i], h2.Graphs[i]) {
+				t.Fatalf("round trip changed level %d graph", i)
+			}
+		}
+		for i := range h.Maps {
+			if len(h.Maps[i]) != len(h2.Maps[i]) {
+				t.Fatalf("round trip changed map %d length", i)
+			}
+			for u := range h.Maps[i] {
+				if h.Maps[i][u] != h2.Maps[i][u] {
+					t.Fatalf("round trip changed map %d at vertex %d", i, u)
+				}
+			}
+		}
+	})
+}

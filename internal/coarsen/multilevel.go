@@ -49,6 +49,13 @@ type LevelStats struct {
 	// PassMapped mirrors Mapping.PassMapped for this level.
 	PassMapped []int64
 
+	// Builder is the construction strategy that built this level's coarse
+	// graph — the configured builder's name, or the dispatched builder
+	// when the configured builder is a PolicyBuilder (then BuildReason
+	// carries the decision-rule code that selected it).
+	Builder     string
+	BuildReason string
+
 	// Span is the level's obs span (nil unless a trace was active during
 	// Run). Its children are the map/build phase spans with per-kernel
 	// wall/busy times; kept here so callers can drill into a level without
@@ -206,6 +213,10 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 	if reuse {
 		ws = NewWorkspace()
 	}
+	policy, adaptive := c.Builder.(PolicyBuilder)
+	if adaptive {
+		policy.BeginHierarchy()
+	}
 	for cur.N() > cutoff && h.Levels() < maxLevels {
 		// Span names are only built when a trace is active, so the disabled
 		// path stays allocation-free (the Enabled check is one pointer load).
@@ -255,10 +266,17 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 			// Over-aggressive final step: discard the coarsest graph.
 			break
 		}
+		bname, breason := c.Builder.Name(), ""
+		if adaptive {
+			if ch := policy.LastChoice(); ch != nil {
+				bname, breason = ch.Builder, ch.Reason
+			}
+		}
 		h.Stats = append(h.Stats, LevelStats{
 			N: cur.NumV, NC: m.NC, M: cur.M(),
 			MapTime: t1.Sub(t0), BuildTime: t2.Sub(t1),
 			Passes: m.Passes, PassMapped: m.PassMapped,
+			Builder: bname, BuildReason: breason,
 			Span: lvl,
 		})
 		h.Graphs = append(h.Graphs, next)

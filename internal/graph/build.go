@@ -50,7 +50,14 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	merged := canon[:0]
 	for _, e := range canon {
 		if k := len(merged); k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
-			merged[k-1].W += e.W
+			// Both weights are positive, so a non-positive sum means the
+			// merge overflowed int64 — reject rather than return a graph
+			// that silently fails Validate.
+			if s := merged[k-1].W + e.W; s > 0 {
+				merged[k-1].W = s
+			} else {
+				return nil, fmt.Errorf("graph: merged weight of edge {%d,%d} overflows int64", e.U, e.V)
+			}
 		} else {
 			merged = append(merged, e)
 		}

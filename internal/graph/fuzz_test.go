@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -101,6 +103,67 @@ func FuzzReadMetis(f *testing.F) {
 		}
 		if !Equal(g, h) {
 			t.Fatalf("round trip changed the graph\ninput: %q", in)
+		}
+	})
+}
+
+// encodeFuzzEdges packs an edge list into the 16-bytes-per-edge wire form
+// FuzzCSRFromEdges decodes (u, v int32; w int64, little endian).
+func encodeFuzzEdges(edges []Edge) []byte {
+	out := make([]byte, 0, 16*len(edges))
+	var b [16]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(b[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(b[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(b[8:], uint64(e.W))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzCSRFromEdges drives FromEdges with arbitrary (vertex count, edge
+// list) pairs: malformed input (out-of-range endpoints, non-positive or
+// overflowing weights) must be rejected with an error, and anything
+// accepted must pass the full CSR validation battery and survive an
+// edge-list round trip — never panic, never return a half-built graph.
+func FuzzCSRFromEdges(f *testing.F) {
+	f.Add(3, encodeFuzzEdges([]Edge{{0, 1, 2}, {1, 2, 3}}))
+	f.Add(4, encodeFuzzEdges([]Edge{{0, 1, 1}, {1, 0, 1}, {2, 3, 5}, {3, 3, 9}}))
+	f.Add(2, encodeFuzzEdges([]Edge{{0, 1, math.MaxInt64}, {1, 0, math.MaxInt64}})) // merged weight overflow
+	f.Add(2, encodeFuzzEdges([]Edge{{0, 1, -7}}))                                   // negative weight
+	f.Add(2, encodeFuzzEdges([]Edge{{0, 5, 1}}))                                    // endpoint out of range
+	f.Add(0, []byte{})
+	// A generator-shaped seed: the 4-cycle with a chord, in both orientations.
+	f.Add(4, encodeFuzzEdges([]Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}, {0, 2, 2}, {2, 0, 2}}))
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n < 0 || n > 1<<20 || len(data) > 1<<16 {
+			t.Skip() // bound harness memory, not parser behavior
+		}
+		edges := make([]Edge, 0, len(data)/16)
+		for i := 0; i+16 <= len(data); i += 16 {
+			edges = append(edges, Edge{
+				U: int32(binary.LittleEndian.Uint32(data[i:])),
+				V: int32(binary.LittleEndian.Uint32(data[i+4:])),
+				W: int64(binary.LittleEndian.Uint64(data[i+8:])),
+			})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return // rejection is fine; crashing is not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\nn=%d edges=%v", err, n, edges)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !Equal(g, h) {
+			t.Fatalf("round trip changed the graph\nn=%d edges=%v", n, edges)
 		}
 	})
 }

@@ -41,6 +41,18 @@ const (
 	// CtrCommit counts reservation operations that committed.
 	CtrCommit
 
+	// The construct_policy counters record the adaptive construction
+	// policy's per-level decisions: one CtrAuto<Builder> increment per
+	// level dispatched to that builder, and CtrAutoProbe increments per
+	// timed probe build. Together they make the policy's behavior visible
+	// in traces, metrics dumps, and bench baselines without new plumbing.
+	CtrAutoSort
+	CtrAutoHash
+	CtrAutoSegSort
+	CtrAutoSpGEMM
+	CtrAutoGlobalSort
+	CtrAutoProbe
+
 	numCounters
 )
 
@@ -56,6 +68,13 @@ var counterNames = [numCounters]string{
 	CtrWSBytesReused: "workspace_bytes_reused",
 	CtrReserve:       "reservations",
 	CtrCommit:        "commits",
+
+	CtrAutoSort:       "construct_auto_sort",
+	CtrAutoHash:       "construct_auto_hash",
+	CtrAutoSegSort:    "construct_auto_segsort",
+	CtrAutoSpGEMM:     "construct_auto_spgemm",
+	CtrAutoGlobalSort: "construct_auto_globalsort",
+	CtrAutoProbe:      "construct_auto_probes",
 }
 
 // String returns the stable metric name of c.
