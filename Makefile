@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-json bench-check bench-baseline tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline tables figures trace verify clean
 
 all: build test
 
@@ -40,15 +40,27 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=30s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=30s -run=Fuzz ./internal/coarsen/
 
-# The CI slice of `fuzz`: 20s per target on the two structured-input
-# targets introduced with the adaptive-construction PR.
+# The CI slice of `fuzz`: 20s per target on the structured-input targets
+# (CSR construction, hierarchy container, and the mis2fast worklist
+# kernel's D2-independence/maximality invariants).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=20s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=20s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=20s -run=Fuzz ./internal/coarsen/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Head-to-head D2-MIS mapper cells (mis2 vs mis2fast on the fast slice,
+# including the explicit p=1/p=8 mapcompare rows the speedup claim in
+# docs/CLAIMS.md is pinned by).
+bench-mis2:
+	$(GO) run ./cmd/mlcg-bench -suite fast -runs 5 -mappers mis2,mis2fast \
+		-out /tmp/mlcg-bench-mis2.json \
+		-sha "$$(git rev-parse HEAD 2>/dev/null || echo '')"
+	$(GO) test -run='^$$' -bench='BenchmarkMapMIS2' -benchmem ./internal/coarsen/
 
 # Isolated coarse-graph construction benchmark (the two-phase scatter /
 # workspace path). `-count=10` gives benchstat enough samples to compare

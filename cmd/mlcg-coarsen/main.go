@@ -30,7 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	in := fs.String("in", "", "input graph file")
 	format := fs.String("format", "edgelist", "input format: "+cli.Formats())
 	genName := fs.String("gen", "", "generate input instead: "+cli.Generators())
-	mapper := fs.String("mapper", "hec", "mapping algorithm: "+strings.Join(coarsen.MapperNames(), ", "))
+	mapper := fs.String("mapper", "hec", "mapping algorithm: "+cli.Mappers())
 	construct := fs.String("construct", "auto", "construction policy: "+cli.ConstructPolicies())
 	builder := fs.String("builder", "", "fixed construction strategy (overrides -construct): "+strings.Join(coarsen.BuilderNames(), ", "))
 	cutoff := fs.Int("cutoff", 50, "coarsening cutoff")

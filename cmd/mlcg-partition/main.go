@@ -38,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	pairwise := fs.Int("pairwise", 0, "pairwise k-way refinement rounds (k > 2)")
 	parallelRefine := fs.Bool("parrefine", false, "use the fully parallel greedy refinement instead of sequential FM")
 	order := fs.String("order", "", "compute an elimination ordering instead: nd (nested dissection) or rcm")
-	mapper := fs.String("mapper", "hec", "coarse mapping: "+strings.Join(coarsen.MapperNames(), ", "))
+	mapper := fs.String("mapper", "hec", "coarse mapping: "+cli.Mappers())
 	construct := fs.String("construct", "auto", "construction policy: "+cli.ConstructPolicies())
 	builder := fs.String("builder", "", "fixed construction (overrides -construct): "+strings.Join(coarsen.BuilderNames(), ", "))
 	seed := fs.Uint64("seed", 20210517, "random seed")

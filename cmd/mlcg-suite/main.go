@@ -34,8 +34,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Int("scale", 1, "workload scale multiplier")
 	seed := fs.Uint64("seed", 20210517, "generation seed")
 	workers := fs.Int("workers", 0, "parallelism for -stallcheck (0 = GOMAXPROCS)")
+	mapperName := fs.String("mapper", "hec", "mapping algorithm for -stallcheck: "+cli.Mappers())
 	construct := fs.String("construct", "auto", "construction policy for -stallcheck: "+cli.ConstructPolicies())
-	stallcheck := fs.Bool("stallcheck", false, "coarsen every instance (HEC + -construct) and report levels/stalls per row")
+	stallcheck := fs.Bool("stallcheck", false, "coarsen every instance (-mapper + -construct) and report levels/stalls per row")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of suite generation to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after generation) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the -stallcheck runs to this file")
@@ -59,11 +60,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// main exits via os.Exit, which skips defers — finish the profiles
 	// explicitly rather than deferring.
+	mapper, err := coarsen.NewMapper(*mapperName)
+	if err != nil {
+		return fail(err)
+	}
 	builder, err := cli.PickBuilder(*construct, "")
 	if err != nil {
 		return fail(err)
 	}
-	code := export(*dir, *format, *scale, *seed, *workers, builder, *stallcheck, *asJSON, stdout, fail)
+	code := export(*dir, *format, *scale, *seed, *workers, mapper, builder, *stallcheck, *asJSON, stdout, fail)
 	if perr := stopProfiles(); perr != nil && code == 0 {
 		return fail(perr)
 	}
@@ -90,7 +95,7 @@ type suiteRow struct {
 	Stalled bool    `json:"stalled,omitempty"`
 }
 
-func export(dir, format string, scale int, seed uint64, workers int, builder coarsen.Builder, stallcheck, asJSON bool, stdout io.Writer, fail func(error) int) int {
+func export(dir, format string, scale int, seed uint64, workers int, mapper coarsen.Mapper, builder coarsen.Builder, stallcheck, asJSON bool, stdout io.Writer, fail func(error) int) int {
 	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[format]
 	if ext == "" {
 		return fail(fmt.Errorf("unknown format %q (want %s)", format, cli.Formats()))
@@ -123,7 +128,7 @@ func export(dir, format string, scale int, seed uint64, workers int, builder coa
 		if stallcheck {
 			// A stalled hierarchy is not an error — the point of the column
 			// is to make stalls visible instead of silently dropping them.
-			c := &coarsen.Coarsener{Mapper: coarsen.HEC{}, Builder: builder, Seed: seed, Workers: workers}
+			c := &coarsen.Coarsener{Mapper: mapper, Builder: builder, Seed: seed, Workers: workers}
 			h, err := c.Run(inst.Graph)
 			if err != nil {
 				return fail(fmt.Errorf("%s: %w", inst.Name, err))

@@ -83,6 +83,7 @@ func ExampleMapperNames() {
 	// hemseq
 	// twohop
 	// mis2
+	// mis2fast
 	// gosh
 	// goshhec
 	// suitor

@@ -116,6 +116,14 @@ func pow(x, e float64) float64 { return math.Pow(x, e) }
 
 // hierarchyFor runs the multilevel coarsener once and returns the result.
 func hierarchyFor(g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, seed uint64) (*coarsen.Hierarchy, error) {
-	c := &coarsen.Coarsener{Mapper: mapper, Builder: builder, Seed: seed, Workers: workers}
+	return hierarchyForD(g, mapper, builder, workers, seed, 0)
+}
+
+// hierarchyForD is hierarchyFor with an explicit DiscardBelow: the
+// mapcompare rows disable the discard rule (-1) so aggressive aggregators
+// (the D2-MIS pair can collapse a skewed graph below 10 vertices in one
+// level) still record the work they did instead of an empty hierarchy.
+func hierarchyForD(g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, seed uint64, discard int) (*coarsen.Hierarchy, error) {
+	c := &coarsen.Coarsener{Mapper: mapper, Builder: builder, Seed: seed, Workers: workers, DiscardBelow: discard}
 	return c.Run(g)
 }

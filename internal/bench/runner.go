@@ -34,6 +34,17 @@ type RunConfig struct {
 	// Counters adds one traced repetition per combination and records the
 	// obs counter totals (hash probes, CAS retries, ...) as info metrics.
 	Counters bool `json:"counters"`
+
+	// HeadToHead lists mappers measured against each other in an extra
+	// "mapcompare" experiment: every configured instance is coarsened with
+	// each listed mapper (sort construction) at every HeadToHeadWorkers
+	// count, so the baseline records directly comparable map-phase rows.
+	// Used for the mis2 vs mis2fast worklist-kernel claim (docs/CLAIMS.md).
+	HeadToHead []string `json:"head_to_head,omitempty"`
+	// HeadToHeadWorkers are the worker counts of the head-to-head rows
+	// (unlike Workers, these are not defaulted from GOMAXPROCS — the
+	// speedup claim is pinned at explicit counts).
+	HeadToHeadWorkers []int `json:"head_to_head_workers,omitempty"`
 }
 
 // FastConfig is the CI slice: three small instances (one regular, two
@@ -51,6 +62,11 @@ func FastConfig() RunConfig {
 		Mappers:   []string{"hec", "hem"},
 		Builders:  []string{"sort", "hash", "auto"},
 		Counters:  true,
+		// The D2-MIS head-to-head: two of the three fast instances are
+		// skewed (mycielskian17, ic04), the regime the worklist kernel
+		// targets; p=8 pins the parallel claim, p=1 the sequential one.
+		HeadToHead:        []string{"mis2", "mis2fast"},
+		HeadToHeadWorkers: []int{1, 8},
 	}
 }
 
@@ -141,9 +157,33 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 					return nil, err
 				}
 				for _, w := range workers {
-					ms, err := measureCombo(inst.Name, inst.Graph, mapper, builder, w, opt, cfg.Counters)
+					ms, err := measureCombo("coarsen", inst.Name, inst.Graph, mapper, builder, w, opt, cfg.Counters, 0)
 					if err != nil {
 						return nil, fmt.Errorf("bench: %s/%s/%s/w=%d: %w", inst.Name, mname, bname, w, err)
+					}
+					b.Metrics = append(b.Metrics, ms...)
+				}
+			}
+		}
+	}
+	// Head-to-head mapper rows ("mapcompare"): the same instances, a fixed
+	// sort construction so map time dominates the comparison, explicit
+	// worker counts.
+	if len(cfg.HeadToHead) > 0 {
+		hw := cfg.HeadToHeadWorkers
+		if len(hw) == 0 {
+			hw = []int{1}
+		}
+		for _, inst := range insts {
+			for _, mname := range cfg.HeadToHead {
+				mapper, err := coarsen.MapperByName(mname)
+				if err != nil {
+					return nil, err
+				}
+				for _, w := range hw {
+					ms, err := measureCombo("mapcompare", inst.Name, inst.Graph, mapper, coarsen.BuildSort{}, w, opt, cfg.Counters, -1)
+					if err != nil {
+						return nil, fmt.Errorf("bench: mapcompare %s/%s/w=%d: %w", inst.Name, mname, w, err)
 					}
 					b.Metrics = append(b.Metrics, ms...)
 				}
@@ -154,15 +194,16 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 	return b, nil
 }
 
-// measureCombo times one instance × mapper × builder × workers cell.
-func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, opt Options, counters bool) ([]Metric, error) {
+// measureCombo times one instance × mapper × builder × workers cell under
+// the given experiment name.
+func measureCombo(experiment, inst string, g *graph.Graph, mapper coarsen.Mapper, builder coarsen.Builder, workers int, opt Options, counters bool, discard int) ([]Metric, error) {
 	// Bench hygiene: level the heap across combos (testing.B does the same
 	// before timing) and run one untimed warmup repetition so no builder
 	// pays first-touch page faults for its scratch buffers inside the timed
 	// samples. On small instances both effects exceed the builder
 	// differences being measured.
 	runtime.GC()
-	if _, err := hierarchyFor(g, mapper, builder, workers, opt.seed()); err != nil {
+	if _, err := hierarchyForD(g, mapper, builder, workers, opt.seed(), discard); err != nil {
 		return nil, err
 	}
 	type sample struct{ total, mapT, build time.Duration }
@@ -170,7 +211,7 @@ func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder co
 	var levels int
 	var cr float64
 	for i := range samples {
-		h, err := hierarchyFor(g, mapper, builder, workers, opt.seed())
+		h, err := hierarchyForD(g, mapper, builder, workers, opt.seed(), discard)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +229,11 @@ func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder co
 		raw[i] = float64(s.total)
 	}
 
-	id := Metric{Experiment: "coarsen", Instance: inst, Mapper: mapper.Name(), Builder: builder.Name(), Workers: workers}
+	rate := 0.0 // guard: an empty hierarchy (all levels discarded) has zero total
+	if med.total > 0 {
+		rate = float64(g.Size()) / med.total.Seconds()
+	}
+	id := Metric{Experiment: experiment, Instance: inst, Mapper: mapper.Name(), Builder: builder.Name(), Workers: workers}
 	mk := func(name, unit string, dir Direction, v float64) Metric {
 		m := id
 		m.Name, m.Unit, m.Direction, m.Value = name, unit, dir, v
@@ -200,13 +245,13 @@ func measureCombo(inst string, g *graph.Graph, mapper coarsen.Mapper, builder co
 		total,
 		mk("map_ns", "ns", LowerIsBetter, float64(med.mapT)),
 		mk("build_ns", "ns", LowerIsBetter, float64(med.build)),
-		mk("rate", "size/s", HigherIsBetter, float64(g.Size())/med.total.Seconds()),
+		mk("rate", "size/s", HigherIsBetter, rate),
 		mk("levels", "levels", Informational, float64(levels)),
 		mk("coarsening_ratio", "ratio", Informational, cr),
 	}
 	if counters {
 		if tr := obs.StartTrace("bench-counters"); tr != nil {
-			_, err := hierarchyFor(g, mapper, builder, workers, opt.seed())
+			_, err := hierarchyForD(g, mapper, builder, workers, opt.seed(), discard)
 			tr.Stop()
 			if err != nil {
 				return nil, err

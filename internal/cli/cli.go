@@ -21,6 +21,18 @@ func ConstructPolicies() string {
 	return "auto, probe, or a fixed builder (" + strings.Join(coarsen.BuilderNames(), ", ") + ")"
 }
 
+// Mappers documents the -mapper flag values shared by the coarsening
+// commands. Derived from the coarsen.AllMappers registry so a newly
+// registered mapper appears in every command's help text automatically.
+func Mappers() string {
+	all := coarsen.AllMappers()
+	names := make([]string, len(all))
+	for i, m := range all {
+		names[i] = m.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
 // PickBuilder resolves the -construct/-builder flag pair shared by the
 // coarsening commands. construct selects the construction policy: "auto"
 // (the commands' default) dispatches per level via coarsen.AutoConstruct,

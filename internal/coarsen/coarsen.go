@@ -12,6 +12,8 @@
 //   - HEM      — parallel HEM with per-pass heavy recomputation (Alg 10)
 //   - TwoHop   — mt-Metis style HEM + leaf/twin/relative matching
 //   - MIS2     — Bell et al. distance-2 MIS aggregation
+//   - MIS2Fast — Kelley–Rajamanickam worklist-driven D2-MIS with fused
+//     aggregation (arXiv:2204.02934); same fixpoint as MIS2
 //   - GOSH     — degree-ordered aggregation that avoids hub-hub merges
 //   - GOSHHEC  — the paper's new weighted GOSH/HEC hybrid (Alg 16)
 //
@@ -98,74 +100,87 @@ type Builder interface {
 	Build(g *graph.Graph, m *Mapping, p int) (*graph.Graph, error)
 }
 
-// MapperByName returns the mapper registered under name. Valid names:
-// hec, hecseq, hec2, hec3, hem, hemseq, twohop, mis2, gosh, goshhec,
-// suitor, bsuitor.
+// mapperRegistry is the single roster of mapping algorithms in canonical
+// order. Every name-facing surface — MapperByName, MapperNames, AllMappers,
+// CLI -mapper help strings, bench sweeps — derives from this list, so a new
+// mapper registered here appears everywhere at once and cannot drift.
+var mapperRegistry = []Mapper{
+	HEC{}, HECSeq{}, HEC2{}, HEC3{}, HEM{}, HEMSeq{}, TwoHop{},
+	MIS2{}, MIS2Fast{}, GOSH{}, GOSHHEC{}, Suitor{}, BSuitor{},
+}
+
+// AllMappers returns one instance of every registered mapping algorithm in
+// canonical registry order. The instances are stateless values and safe to
+// share; callers that need a mapper by name should use MapperByName.
+func AllMappers() []Mapper {
+	out := make([]Mapper, len(mapperRegistry))
+	copy(out, mapperRegistry)
+	return out
+}
+
+// MapperByName returns the mapper registered under name (see MapperNames
+// for the roster).
 func MapperByName(name string) (Mapper, error) {
-	switch name {
-	case "hec":
-		return HEC{}, nil
-	case "hecseq":
-		return HECSeq{}, nil
-	case "hec2":
-		return HEC2{}, nil
-	case "hec3":
-		return HEC3{}, nil
-	case "hem":
-		return HEM{}, nil
-	case "hemseq":
-		return HEMSeq{}, nil
-	case "twohop":
-		return TwoHop{}, nil
-	case "mis2":
-		return MIS2{}, nil
-	case "gosh":
-		return GOSH{}, nil
-	case "goshhec":
-		return GOSHHEC{}, nil
-	case "suitor":
-		return Suitor{}, nil
-	case "bsuitor":
-		return BSuitor{}, nil
+	for _, m := range mapperRegistry {
+		if m.Name() == name {
+			return m, nil
+		}
 	}
 	return nil, fmt.Errorf("coarsen: unknown mapper %q", name)
 }
 
-// BuilderByName returns the builder registered under name. Valid names:
-// sort, hash, spgemm, globalsort, heap, hybrid, segsort, auto. The auto
-// builder is the adaptive per-level policy (a fresh stateful instance per
-// call); pass -construct probe on the CLI for its probe variant.
+// NewMapper is MapperByName under the constructor-style name used by the
+// CLIs and examples.
+func NewMapper(name string) (Mapper, error) { return MapperByName(name) }
+
+// MapperNames lists the registered mapping algorithms in registry order.
+func MapperNames() []string {
+	out := make([]string, len(mapperRegistry))
+	for i, m := range mapperRegistry {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// builderRegistry pairs every construction strategy's name with its
+// factory, in canonical order. Factories (not shared values) because the
+// auto builder is a stateful per-hierarchy policy that must be fresh per
+// call.
+var builderRegistry = []struct {
+	name string
+	make func() Builder
+}{
+	{"sort", func() Builder { return BuildSort{} }},
+	{"hash", func() Builder { return BuildHash{} }},
+	{"spgemm", func() Builder { return BuildSpGEMM{} }},
+	{"globalsort", func() Builder { return BuildGlobalSort{} }},
+	{"heap", func() Builder { return BuildHeap{} }},
+	{"hybrid", func() Builder { return BuildHybrid{} }},
+	{"segsort", func() Builder { return BuildSegSort{} }},
+	{"auto", func() Builder { return &AutoConstruct{} }},
+}
+
+// BuilderByName returns the builder registered under name (see
+// BuilderNames). The auto builder is the adaptive per-level policy (a fresh
+// stateful instance per call); pass -construct probe on the CLI for its
+// probe variant.
 func BuilderByName(name string) (Builder, error) {
-	switch name {
-	case "sort":
-		return BuildSort{}, nil
-	case "hash":
-		return BuildHash{}, nil
-	case "spgemm":
-		return BuildSpGEMM{}, nil
-	case "globalsort":
-		return BuildGlobalSort{}, nil
-	case "heap":
-		return BuildHeap{}, nil
-	case "hybrid":
-		return BuildHybrid{}, nil
-	case "segsort":
-		return BuildSegSort{}, nil
-	case "auto":
-		return &AutoConstruct{}, nil
+	for _, b := range builderRegistry {
+		if b.name == name {
+			return b.make(), nil
+		}
 	}
 	return nil, fmt.Errorf("coarsen: unknown builder %q", name)
 }
 
-// MapperNames lists the registered mapping algorithms.
-func MapperNames() []string {
-	return []string{"hec", "hecseq", "hec2", "hec3", "hem", "hemseq", "twohop", "mis2", "gosh", "goshhec", "suitor", "bsuitor"}
-}
-
 // BuilderNames lists the registered construction strategies (the fixed
-// kernels plus the adaptive auto policy).
+// kernels plus the adaptive auto policy) in registry order.
 func BuilderNames() []string {
-	return []string{"sort", "hash", "spgemm", "globalsort", "heap", "hybrid", "segsort", "auto"}
+	out := make([]string, len(builderRegistry))
+	for i, b := range builderRegistry {
+		out[i] = b.name
+	}
+	return out
 }
 
 const unset = int32(-1)

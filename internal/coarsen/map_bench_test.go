@@ -79,3 +79,8 @@ func BenchmarkMapHEC(b *testing.B)    { benchMapWithRenumber(b, HEC{}) }
 func BenchmarkMapHEM(b *testing.B)    { benchMapWithRenumber(b, HEM{}) }
 func BenchmarkMapTwoHop(b *testing.B) { benchMapWithRenumber(b, TwoHop{}) }
 func BenchmarkMapGOSH(b *testing.B)   { benchMapWithRenumber(b, GOSH{}) }
+
+// The D2-MIS pair: same fixpoint, full-resweep vs worklist kernel. Run
+// both (make bench-mis2) to read the worklist speedup off directly.
+func BenchmarkMapMIS2(b *testing.B)     { benchMapWithRenumber(b, MIS2{}) }
+func BenchmarkMapMIS2Fast(b *testing.B) { benchMapWithRenumber(b, MIS2Fast{}) }

@@ -206,11 +206,13 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 
 	h := &Hierarchy{Graphs: []*graph.Graph{g}}
 	cur := g
-	// Builders that support it share one scratch workspace across all
-	// levels, so steady-state construction allocates only the output CSR.
+	// Builders and mappers that support it share one scratch workspace
+	// across all levels, so steady-state mapping and construction allocate
+	// only the outputs that escape into the hierarchy.
 	var ws *Workspace
 	wb, reuse := c.Builder.(WorkspaceBuilder)
-	if reuse {
+	wm, mapReuse := c.Mapper.(WorkspaceMapper)
+	if reuse || mapReuse {
 		ws = NewWorkspace()
 	}
 	policy, adaptive := c.Builder.(PolicyBuilder)
@@ -226,7 +228,13 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 			phase = obs.StartKernel("map:" + c.Mapper.Name())
 		}
 		t0 := time.Now()
-		m, err := c.Mapper.Map(cur, c.Seed+uint64(h.Levels()), c.Workers)
+		var m *Mapping
+		var err error
+		if mapReuse {
+			m, err = wm.MapWith(ws, cur, c.Seed+uint64(h.Levels()), c.Workers)
+		} else {
+			m, err = c.Mapper.Map(cur, c.Seed+uint64(h.Levels()), c.Workers)
+		}
 		t1 := time.Now()
 		phase.Done()
 		if err != nil {

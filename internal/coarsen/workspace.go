@@ -1,6 +1,8 @@
 package coarsen
 
 import (
+	"sync/atomic"
+
 	"mlcg/internal/graph"
 	"mlcg/internal/obs"
 	"mlcg/internal/par"
@@ -53,6 +55,9 @@ type Workspace struct {
 	keys64 []uint64
 	vals64 []uint64
 	offs   []int64
+
+	// Worklist-mapper scratch (mis2fast selection and frontiers).
+	mis *mis2Scratch
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use and
@@ -165,4 +170,124 @@ type WorkspaceBuilder interface {
 	Builder
 	// BuildWith is Build with explicit scratch; ws must be non-nil.
 	BuildWith(ws *Workspace, g *graph.Graph, m *Mapping, p int) (*graph.Graph, error)
+}
+
+// WorkspaceMapper is the mapper-side twin of WorkspaceBuilder: mappers that
+// keep their selection state and frontier buffers in the arena implement it
+// and Coarsener.Run routes Map calls through MapWith so one hierarchy
+// shares one arena across both phases of every level.
+type WorkspaceMapper interface {
+	Mapper
+	// MapWith is Map with explicit scratch; ws must be non-nil.
+	MapWith(ws *Workspace, g *graph.Graph, seed uint64, p int) (*Mapping, error)
+}
+
+// mis2Scratch is the retained scratch of the mis2fast worklist kernel: the
+// per-vertex selection arrays, the epoch-stamped claim marks that dedup
+// candidate lists, and the per-worker frontier buffers with their merged
+// flat lists. All buffers are arena-owned and dead once MapWith returns
+// (the output mapping array is allocated fresh — it escapes).
+type mis2Scratch struct {
+	key   []uint64
+	state []int32
+	t1    []int32
+	near  []int32
+
+	// mark[v] holds the last epoch that claimed v; claimEpoch CAS-bumps it
+	// so each (epoch, vertex) pair is claimed by exactly one worker. The
+	// epoch survives across levels and graphs — stale marks are always
+	// smaller than a freshly issued epoch.
+	mark  []int32
+	epoch int32
+
+	bufs [][]int32 // per-worker append buffers (worker w owns bufs[w])
+	cnt  []int32   // per-worker counts / exclusive offsets for the merge
+
+	// Merged flat frontier lists, reused round over round.
+	f1, in, out []int32
+
+	// roots accumulates every MIS member across rounds (append-only during
+	// one selection); the fused aggregation scatters from it.
+	roots []int32
+}
+
+// mis2Scratch returns the arena's worklist-mapper scratch sized for an
+// n-vertex graph and p workers.
+func (ws *Workspace) mis2Scratch(n, p int) *mis2Scratch {
+	if ws.mis == nil {
+		ws.mis = &mis2Scratch{}
+	}
+	s := ws.mis
+	s.key = growU64(&s.key, n)
+	s.state = growI32(&s.state, n)
+	s.t1 = growI32(&s.t1, n)
+	s.near = growI32(&s.near, n)
+	// The claim marks must be strictly below any future epoch. Reused
+	// buffers only ever hold previously issued epochs, so they are fine
+	// as-is; a freshly grown buffer is zero-filled and fine too. Guard the
+	// (never reached in practice) epoch wrap by rezeroing.
+	if s.epoch > (1<<31)-2-int32(64) {
+		s.epoch = 0
+		s.mark = nil
+	}
+	s.mark = growI32(&s.mark, n)
+	for len(s.bufs) < p {
+		s.bufs = append(s.bufs, nil)
+	}
+	s.cnt = growI32(&s.cnt, p)
+	return s
+}
+
+// resetBufs truncates the first p per-worker buffers for a new fill phase.
+func (s *mis2Scratch) resetBufs(p int) {
+	for w := 0; w < p; w++ {
+		s.bufs[w] = s.bufs[w][:0]
+	}
+}
+
+// nextEpoch issues a fresh claim epoch (strictly larger than every mark).
+func (s *mis2Scratch) nextEpoch() int32 {
+	s.epoch++
+	return s.epoch
+}
+
+// claimEpoch claims vertex v for the given epoch; exactly one caller per
+// (epoch, v) pair wins. Marks only grow, so a load-then-CAS loop suffices.
+func (s *mis2Scratch) claimEpoch(v, epoch int32) bool {
+	for {
+		old := atomic.LoadInt32(&s.mark[v])
+		if old >= epoch {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&s.mark[v], old, epoch) {
+			return true
+		}
+	}
+}
+
+// mergeBufs concatenates the first p per-worker buffers into dst (grown in
+// the arena) in worker order, using an exclusive scan over the per-worker
+// counts — the same histogram-merge discipline as the builders, no atomics.
+// The returned slice aliases dst's backing array.
+func (s *mis2Scratch) mergeBufs(dst *[]int32, p int) []int32 {
+	cnt := s.cnt[:p]
+	for w := 0; w < p; w++ {
+		cnt[w] = int32(len(s.bufs[w]))
+	}
+	total := par.ExclusiveScanInt32(cnt, cnt, 1)
+	out := growI32(dst, int(total))
+	if total < 1<<13 {
+		// Small merges (the common worklist tail) are cheaper on one core
+		// than p goroutine spawns.
+		for w := 0; w < p; w++ {
+			copy(out[cnt[w]:], s.bufs[w])
+		}
+		return out
+	}
+	par.For(p, p, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			copy(out[cnt[w]:], s.bufs[w])
+		}
+	})
+	return out
 }

@@ -53,6 +53,14 @@ const (
 	CtrAutoGlobalSort
 	CtrAutoProbe
 
+	// CtrMIS2FastRounds counts selection rounds of the worklist-driven
+	// distance-2 MIS kernel (mis2fast); CtrMIS2FastFrontier accumulates the
+	// per-round worklist sizes (recompute frontier + newly-in + newly-out
+	// vertices), the direct measure of how much work the frontier scheme
+	// avoids versus full resweeps.
+	CtrMIS2FastRounds
+	CtrMIS2FastFrontier
+
 	numCounters
 )
 
@@ -75,6 +83,9 @@ var counterNames = [numCounters]string{
 	CtrAutoSpGEMM:     "construct_auto_spgemm",
 	CtrAutoGlobalSort: "construct_auto_globalsort",
 	CtrAutoProbe:      "construct_auto_probes",
+
+	CtrMIS2FastRounds:   "mis2fast_rounds",
+	CtrMIS2FastFrontier: "mis2fast_frontier",
 }
 
 // String returns the stable metric name of c.

@@ -93,6 +93,12 @@ func ForChunked(n, p, chunk int, fn func(worker, lo, hi int)) {
 			chunk = 64
 		}
 	}
+	// Never spawn more workers than there are chunks to claim: a frontier
+	// smaller than one chunk runs inline on the caller's goroutine, which is
+	// what makes worklist tail rounds (tiny frontiers, many rounds) cheap.
+	if nchunks := (n + chunk - 1) / chunk; p > nchunks {
+		p = nchunks
+	}
 	span := obs.Ambient()
 	if p == 1 {
 		if span != nil {
@@ -147,6 +153,17 @@ func ForEachChunked(n, p, chunk int, fn func(i int)) {
 	ForChunked(n, p, chunk, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
+		}
+	})
+}
+
+// ForEachChunkedWorker is ForEachChunked with the worker index exposed, for
+// element-wise loops that append to per-worker buffers (frontier and
+// worklist construction). The worker index is always < Workers(p, n).
+func ForEachChunkedWorker(n, p, chunk int, fn func(worker, i int)) {
+	ForChunked(n, p, chunk, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
 		}
 	})
 }

@@ -8,7 +8,7 @@
 //
 //   - CSR graphs (NewGraph, ReadEdgeList, ReadBinary) and synthetic
 //     generators (RGG, Grid3D, RMAT, ...);
-//   - twelve coarse-mapping algorithms (Mapper / MapperByName) including
+//   - thirteen coarse-mapping algorithms (Mapper / MapperByName) including
 //     the paper's lock-free parallel HEC, and seven coarse-graph
 //     construction strategies (Builder / BuilderByName);
 //   - the multilevel driver (Coarsen / Coarsener);
@@ -101,7 +101,8 @@ var (
 )
 
 // MapperByName returns one of the registered coarse-mapping algorithms:
-// hec, hecseq, hec2, hec3, hem, hemseq, twohop, mis2, gosh, goshhec.
+// hec, hecseq, hec2, hec3, hem, hemseq, twohop, mis2, mis2fast, gosh,
+// goshhec, suitor, bsuitor.
 func MapperByName(name string) (Mapper, error) { return coarsen.MapperByName(name) }
 
 // BuilderByName returns one of the registered construction strategies:
