@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke tables figures trace verify clean
 
 all: build test
 
@@ -49,6 +49,11 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=20s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=20s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=20s -run=Fuzz ./internal/coarsen/
+
+# End-to-end smoke of the mlcg-serve daemon over a real socket: start,
+# ingest, build, query, scrape /metrics, SIGTERM graceful drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

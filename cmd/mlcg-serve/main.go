@@ -1,0 +1,102 @@
+// mlcg-serve is the coarsening service: it ingests graphs over HTTP,
+// builds multilevel hierarchies once (content-addressed, deduplicated),
+// and answers concurrent partition/cluster/projection queries against the
+// shared hierarchies — the "coarsen once, solve many" deployment shape.
+//
+// Usage:
+//
+//	mlcg-serve                       # listen on :8080
+//	mlcg-serve -addr :9000 -build-workers 4 -queue 32
+//
+// Quickstart:
+//
+//	curl -s --data-binary @graph.metis 'localhost:8080/v1/graphs'
+//	curl -s -d '{"graph":"<id>","builder":"auto"}' 'localhost:8080/v1/hierarchies?wait=1'
+//	curl -s -d '{"hierarchy":"<hid>","k":8}' 'localhost:8080/v1/partition'
+//	curl -s 'localhost:8080/metrics'
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight queries
+// finish, and running builds stop at their next level boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlcg/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlcg-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	buildWorkers := fs.Int("build-workers", 2, "concurrent hierarchy builds")
+	workers := fs.Int("workers", 0, "parallelism inside one build/query (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 16, "pending-build queue depth (full queue sheds with 429)")
+	buildTimeout := fs.Duration("build-timeout", 5*time.Minute, "deadline per hierarchy build")
+	maxBody := fs.Int64("max-body", 1<<30, "maximum ingest body bytes")
+	maxGraphs := fs.Int("max-graphs", 256, "graph cache capacity")
+	maxHier := fs.Int("max-hierarchies", 256, "hierarchy cache capacity")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	logger := log.New(stderr, "mlcg-serve: ", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		BuildWorkers:   *buildWorkers,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BuildTimeout:   *buildTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxGraphs:      *maxGraphs,
+		MaxHierarchies: *maxHier,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Printf("listen: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (budget %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "mlcg-serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	logger.Printf("drained cleanly")
+	return 0
+}

@@ -45,6 +45,18 @@ type RunConfig struct {
 	// (unlike Workers, these are not defaulted from GOMAXPROCS — the
 	// speedup claim is pinned at explicit counts).
 	HeadToHeadWorkers []int `json:"head_to_head_workers,omitempty"`
+
+	// Serve adds the mlcg-serve end-to-end experiment: build throughput
+	// over real loopback HTTP at each ServeConcurrency client level
+	// (ServeBuilds distinct small graphs per repetition, fresh server per
+	// repetition so caching cannot flatter the numbers) and concurrent
+	// partition-query throughput against one shared hierarchy
+	// (ServeQueries requests). The serve rows' Workers field records the
+	// client concurrency.
+	Serve            bool  `json:"serve,omitempty"`
+	ServeConcurrency []int `json:"serve_concurrency,omitempty"`
+	ServeBuilds      int   `json:"serve_builds,omitempty"`
+	ServeQueries     int   `json:"serve_queries,omitempty"`
 }
 
 // FastConfig is the CI slice: three small instances (one regular, two
@@ -67,6 +79,10 @@ func FastConfig() RunConfig {
 		// targets; p=8 pins the parallel claim, p=1 the sequential one.
 		HeadToHead:        []string{"mis2", "mis2fast"},
 		HeadToHeadWorkers: []int{1, 8},
+		// The serving path: build QPS at 1 and 8 concurrent clients plus
+		// shared-hierarchy query throughput, gated like every other row.
+		Serve:            true,
+		ServeConcurrency: []int{1, 8},
 	}
 }
 
@@ -82,6 +98,11 @@ func FullConfig() RunConfig {
 		Mappers:  []string{"hec", "hem", "twohop", "gosh"},
 		Builders: []string{"sort", "hash", "spgemm", "auto"},
 		Counters: true,
+		Serve:    true,
+		// Heavier serve slice for committed baselines.
+		ServeConcurrency: []int{1, 4, 8},
+		ServeBuilds:      48,
+		ServeQueries:     96,
 	}
 	for _, inst := range (Options{}).Suite() {
 		cfg.Instances = append(cfg.Instances, inst.Name)
@@ -189,6 +210,14 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 				}
 			}
 		}
+	}
+	// The serving experiment: daemon throughput over loopback HTTP.
+	if cfg.Serve {
+		ms, err := measureServe(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		b.Metrics = append(b.Metrics, ms...)
 	}
 	b.Sort()
 	return b, nil

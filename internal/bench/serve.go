@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlcg/internal/gen"
+	"mlcg/internal/graph"
+	"mlcg/internal/serve"
+)
+
+// The serve experiment measures the daemon end to end over real HTTP on a
+// loopback listener: build throughput (ingest → hierarchy, the write path
+// with its queue, workspace pool, and per-request traces) at two client
+// concurrency levels, and query throughput against one shared hierarchy
+// (the read path that must scale with readers). The Workers identity
+// field carries the *client concurrency*, not the coarsening parallelism:
+// that is the axis these rows sweep.
+
+// serveBatchGraphs generates the distinct small graphs one build-QPS
+// repetition ingests and builds (content addressing means they must
+// actually differ).
+func serveBatchGraphs(n, scale int) []*graph.Graph {
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		side := (24 + i) * scale
+		out[i] = gen.Grid2D(side, 24*scale)
+	}
+	return out
+}
+
+func servePost(client *http.Client, url string, body []byte, out any) (int, error) {
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad response %q: %w", raw, err)
+		}
+	}
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, nil
+}
+
+// serveBuildQPS runs one repetition: a fresh server (so the hierarchy
+// cache cannot carry answers across reps), all graphs pre-ingested, then
+// `conc` client goroutines drain the build list with blocking requests.
+// Returns completed builds per second.
+func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, error) {
+	s := serve.New(serve.Config{
+		BuildWorkers: conc,
+		Workers:      1,
+		QueueDepth:   len(graphs) + conc,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	client := &http.Client{}
+
+	ids := make([]string, len(graphs))
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return 0, err
+		}
+		var info struct {
+			ID string `json:"id"`
+		}
+		if _, err := servePost(client, ts.URL+"/v1/graphs?format=binary", buf.Bytes(), &info); err != nil {
+			return 0, fmt.Errorf("ingest %d: %w", i, err)
+		}
+		ids[i] = info.ID
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, conc)
+	t0 := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				body, _ := json.Marshal(map[string]any{"graph": ids[i]})
+				var st struct {
+					Status string `json:"status"`
+					Error  string `json:"error"`
+				}
+				if _, err := servePost(client, ts.URL+"/v1/hierarchies?wait=1", body, &st); err != nil {
+					errCh <- fmt.Errorf("build %d: %w", i, err)
+					return
+				}
+				if st.Status != "done" {
+					errCh <- fmt.Errorf("build %d: status %q (%s)", i, st.Status, st.Error)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(len(ids)) / elapsed.Seconds(), nil
+}
+
+// serveQueryQPS builds one larger hierarchy and then hammers it with
+// concurrent partition queries. Returns queries per second.
+func serveQueryQPS(conc, queries, scale int) (float64, error) {
+	s := serve.New(serve.Config{
+		BuildWorkers: 1,
+		Workers:      0,
+		QueueDepth:   4,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	client := &http.Client{}
+
+	sc := 0
+	for v := scale; v > 1; v >>= 1 {
+		sc++
+	}
+	g := gen.RMAT(12+sc, 8, 6)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		return 0, err
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if _, err := servePost(client, ts.URL+"/v1/graphs?format=binary", buf.Bytes(), &info); err != nil {
+		return 0, err
+	}
+	body, _ := json.Marshal(map[string]any{"graph": info.ID})
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if _, err := servePost(client, ts.URL+"/v1/hierarchies?wait=1", body, &st); err != nil {
+		return 0, err
+	}
+	if st.Status != "done" {
+		return 0, fmt.Errorf("hierarchy build did not finish: %q", st.Status)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, conc)
+	t0 := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= queries {
+					return
+				}
+				q, _ := json.Marshal(map[string]any{"hierarchy": st.ID, "k": 4, "seed": i})
+				if _, err := servePost(client, ts.URL+"/v1/partition", q, nil); err != nil {
+					errCh <- fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(queries) / elapsed.Seconds(), nil
+}
+
+// measureServe produces the serve experiment's metrics: build_qps per
+// configured client concurrency and query_qps at the highest concurrency.
+func measureServe(cfg RunConfig, opt Options) ([]Metric, error) {
+	concs := cfg.ServeConcurrency
+	if len(concs) == 0 {
+		concs = []int{1, 8}
+	}
+	builds := cfg.ServeBuilds
+	if builds <= 0 {
+		builds = 24
+	}
+	queries := cfg.ServeQueries
+	if queries <= 0 {
+		queries = 48
+	}
+	runs := opt.runs()
+	scale := opt.Scale
+	if scale < 1 {
+		scale = 1
+	}
+
+	median := func(vals []float64) (float64, []float64) {
+		raw := append([]float64(nil), vals...)
+		sort.Float64s(vals)
+		return vals[len(vals)/2], raw
+	}
+	mk := func(conc int, name, unit string, dir Direction, v float64, samples []float64) Metric {
+		return Metric{
+			Experiment: "serve", Instance: "grid-batch", Mapper: "hec", Builder: "sort",
+			Workers: conc, Name: name, Unit: unit, Direction: dir, Value: v, Samples: samples,
+		}
+	}
+
+	var out []Metric
+	for _, conc := range concs {
+		vals := make([]float64, runs)
+		for rep := range vals {
+			qps, err := serveBuildQPS(conc, serveBatchGraphs(builds, scale))
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve build qps (conc=%d): %w", conc, err)
+			}
+			vals[rep] = qps
+		}
+		med, raw := median(vals)
+		out = append(out, mk(conc, "build_qps", "builds/s", HigherIsBetter, med, raw))
+	}
+
+	qconc := concs[len(concs)-1]
+	if qconc < 2 {
+		qconc = 8
+	}
+	vals := make([]float64, runs)
+	for rep := range vals {
+		qps, err := serveQueryQPS(qconc, queries, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve query qps: %w", err)
+		}
+		vals[rep] = qps
+	}
+	med, raw := median(vals)
+	m := mk(qconc, "query_qps", "queries/s", HigherIsBetter, med, raw)
+	m.Instance = "rmat-shared"
+	out = append(out, m)
+	return out, nil
+}

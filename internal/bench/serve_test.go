@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestMeasureServeSmoke runs a miniature serve experiment end to end: a
+// real loopback server, real HTTP, tiny workload. It pins the metric
+// identities the baseline comparator keys on — renaming build_qps or
+// changing its direction silently un-gates the serving rows.
+func TestMeasureServeSmoke(t *testing.T) {
+	cfg := RunConfig{
+		Serve:            true,
+		ServeConcurrency: []int{2},
+		ServeBuilds:      4,
+		ServeQueries:     6,
+	}
+	ms, err := measureServe(cfg, Options{Runs: 1})
+	if err != nil {
+		t.Fatalf("measureServe: %v", err)
+	}
+	found := map[string]Metric{}
+	for _, m := range ms {
+		if m.Experiment != "serve" {
+			t.Errorf("metric %s has experiment %q, want serve", m.Name, m.Experiment)
+		}
+		found[m.Name] = m
+	}
+	bq, ok := found["build_qps"]
+	if !ok {
+		t.Fatal("no build_qps metric")
+	}
+	if bq.Value <= 0 || bq.Direction != HigherIsBetter || bq.Workers != 2 {
+		t.Errorf("build_qps implausible: %+v", bq)
+	}
+	qq, ok := found["query_qps"]
+	if !ok {
+		t.Fatal("no query_qps metric")
+	}
+	if qq.Value <= 0 || qq.Direction != HigherIsBetter {
+		t.Errorf("query_qps implausible: %+v", qq)
+	}
+	if len(bq.Samples) != 1 {
+		t.Errorf("build_qps has %d samples, want 1", len(bq.Samples))
+	}
+}

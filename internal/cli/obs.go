@@ -20,7 +20,7 @@ func StartObs(tracePath string, metrics bool, metricsOut io.Writer) (stop func()
 	}
 	tr := obs.StartTrace("run")
 	if tr == nil {
-		return nil, fmt.Errorf("tracing already active in this process")
+		return nil, fmt.Errorf("a trace is already attached to this goroutine")
 	}
 	return func() error {
 		tr.Stop()

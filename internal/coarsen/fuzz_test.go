@@ -39,15 +39,25 @@ func FuzzHierIO(f *testing.F) {
 	corrupt[24] ^= 0xff // damage the first graph's header
 	f.Add(corrupt)
 	f.Add([]byte("not a hierarchy"))
-	f.Fuzz(func(t *testing.T, in []byte) {
-		// Bound harness memory: the first graph's binary header starts at
-		// offset 16 (after the hierarchy magic and level count) and claims
-		// its n at +8 and nnz at +16, little endian.
-		if len(in) >= 40 {
-			if binary.LittleEndian.Uint64(in[24:]) > 1<<20 || binary.LittleEndian.Uint64(in[32:]) > 1<<22 {
-				t.Skip()
-			}
+	// Lying length prefixes: a header that claims a huge level count with no
+	// payload, and an embedded graph claiming far more vertices/edges than
+	// the stream carries. Chunked allocation in the graph reader means these
+	// must fail with short-read errors, not giant make() calls, so the old
+	// harness memory guard is gone on purpose.
+	lying := func(levels, n, nnz uint64) []byte {
+		var b bytes.Buffer
+		binary.Write(&b, binary.LittleEndian, uint64(0x6d6c63672d686965))
+		binary.Write(&b, binary.LittleEndian, levels)
+		binary.Write(&b, binary.LittleEndian, uint64(0x6d6c63672d637372))
+		for _, v := range []uint64{n, nnz, 0} {
+			binary.Write(&b, binary.LittleEndian, v)
 		}
+		return b.Bytes()
+	}
+	f.Add(lying(1<<20, 1<<28, 1<<33)) // max in-range claims, no payload
+	f.Add(lying(2, 1<<62, 7))         // n overflows the range check
+	f.Add(grid[:18])                  // truncated inside the level count
+	f.Fuzz(func(t *testing.T, in []byte) {
 		h, err := ReadHierarchy(bytes.NewReader(in))
 		if err != nil {
 			return // rejection is fine; crashing is not

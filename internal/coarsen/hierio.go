@@ -77,8 +77,8 @@ func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 			return nil, fmt.Errorf("coarsen: map %d covers %d vertices, graph has %d",
 				i, mlen, h.Graphs[i].N())
 		}
-		m := make([]int32, mlen)
-		if err := binary.Read(br, binary.LittleEndian, m); err != nil {
+		m, err := graph.ReadI32Chunked(br, int(mlen), fmt.Sprintf("hierarchy map %d", i))
+		if err != nil {
 			return nil, err
 		}
 		nc := h.Graphs[i+1].NumV

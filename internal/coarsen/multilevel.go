@@ -1,6 +1,7 @@
 package coarsen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -36,6 +37,13 @@ type Coarsener struct {
 
 	// Workers is the parallelism degree (0 = GOMAXPROCS).
 	Workers int
+
+	// Workspace optionally supplies the scratch arena for this run instead
+	// of allocating a private one. A workspace is single-owner: Run
+	// acquires it with a CAS and fails fast with a clear error if another
+	// Run currently holds it. Servers recycle arenas across requests with
+	// a WorkspacePool.
+	Workspace *Workspace
 }
 
 // LevelStats records per-level measurements used by the Table II/III
@@ -188,8 +196,21 @@ func (h *Hierarchy) Flatten() *Mapping {
 // Run coarsens g to completion and returns the hierarchy. The input graph
 // is stored as level 0 and never modified.
 func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
+	return c.RunCtx(context.Background(), g)
+}
+
+// RunCtx is Run with a context: the multilevel loop checks for
+// cancellation between levels (a deadline or a disconnected client stops
+// the run at the next level boundary), and a trace carried by the context
+// (obs.NewContext) is attached to the running goroutine for the duration,
+// so per-request spans thread through runs executed on pool goroutines.
+func (c *Coarsener) RunCtx(ctx context.Context, g *graph.Graph) (*Hierarchy, error) {
 	if c.Mapper == nil || c.Builder == nil {
 		return nil, fmt.Errorf("coarsen: Coarsener needs both a Mapper and a Builder")
+	}
+	if t := obs.TraceFromContext(ctx); t != nil && !obs.Enabled() {
+		detach := t.Attach()
+		defer detach()
 	}
 	cutoff := c.Cutoff
 	if cutoff <= 0 {
@@ -208,11 +229,19 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 	cur := g
 	// Builders and mappers that support it share one scratch workspace
 	// across all levels, so steady-state mapping and construction allocate
-	// only the outputs that escape into the hierarchy.
+	// only the outputs that escape into the hierarchy. A caller-supplied
+	// workspace is acquired exclusively: scratch is single-owner, and two
+	// Runs sharing one arena would silently corrupt each other's buffers.
 	var ws *Workspace
 	wb, reuse := c.Builder.(WorkspaceBuilder)
 	wm, mapReuse := c.Mapper.(WorkspaceMapper)
-	if reuse || mapReuse {
+	if c.Workspace != nil {
+		ws = c.Workspace
+		if err := ws.tryAcquire(); err != nil {
+			return nil, err
+		}
+		defer ws.release()
+	} else if reuse || mapReuse {
 		ws = NewWorkspace()
 	}
 	policy, adaptive := c.Builder.(PolicyBuilder)
@@ -220,6 +249,9 @@ func (c *Coarsener) Run(g *graph.Graph) (*Hierarchy, error) {
 		policy.BeginHierarchy()
 	}
 	for cur.N() > cutoff && h.Levels() < maxLevels {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("coarsen: canceled before level %d: %w", h.Levels()+1, err)
+		}
 		// Span names are only built when a trace is active, so the disabled
 		// path stays allocation-free (the Enabled check is one pointer load).
 		var lvl, phase *obs.Span

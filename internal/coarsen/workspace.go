@@ -1,6 +1,8 @@
 package coarsen
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"mlcg/internal/graph"
@@ -58,11 +60,58 @@ type Workspace struct {
 
 	// Worklist-mapper scratch (mis2fast selection and frontiers).
 	mis *mis2Scratch
+
+	// inUse is the single-owner guard: 1 while a Run (or an explicit
+	// TryAcquire) holds the workspace. Concurrent acquisition is the bug
+	// class a server hits first — two requests sharing scratch silently
+	// corrupt each other's coarse graphs — so it fails loudly instead.
+	inUse int32
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use and
 // are retained for reuse.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// tryAcquire claims exclusive use of the workspace, failing with a
+// descriptive error if another holder has it.
+func (ws *Workspace) tryAcquire() error {
+	if !atomic.CompareAndSwapInt32(&ws.inUse, 0, 1) {
+		return fmt.Errorf("coarsen: Workspace is already in use by a concurrent Run; " +
+			"a workspace is single-owner scratch — give each concurrent Run its own (see WorkspacePool)")
+	}
+	return nil
+}
+
+// release returns the workspace to the idle state.
+func (ws *Workspace) release() { atomic.StoreInt32(&ws.inUse, 0) }
+
+// InUse reports whether a Run currently holds the workspace.
+func (ws *Workspace) InUse() bool { return atomic.LoadInt32(&ws.inUse) != 0 }
+
+// WorkspacePool recycles workspaces across concurrent Runs — the server's
+// substrate for steady-state zero-scratch-allocation builds without
+// sharing an arena between in-flight requests. The zero value is ready.
+type WorkspacePool struct {
+	pool sync.Pool
+}
+
+// Get returns an idle workspace, allocating one if the pool is empty.
+func (p *WorkspacePool) Get() *Workspace {
+	if ws, ok := p.pool.Get().(*Workspace); ok {
+		return ws
+	}
+	return NewWorkspace()
+}
+
+// Put returns a workspace to the pool. A workspace still held by a Run is
+// dropped instead of pooled, so a misbehaving caller cannot poison the
+// pool with scratch another goroutine is actively writing.
+func (p *WorkspacePool) Put(ws *Workspace) {
+	if ws == nil || ws.InUse() {
+		return
+	}
+	p.pool.Put(ws)
+}
 
 // The grow helpers report arena effectiveness to the obs layer: bytes
 // served from retained buffers (workspace_bytes_reused) vs. freshly

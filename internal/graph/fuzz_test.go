@@ -135,6 +135,10 @@ func FuzzCSRFromEdges(f *testing.F) {
 	f.Add(0, []byte{})
 	// A generator-shaped seed: the 4-cycle with a chord, in both orientations.
 	f.Add(4, encodeFuzzEdges([]Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}, {0, 2, 2}, {2, 0, 2}}))
+	// Truncated wire form (partial trailing record) and an oversized vertex
+	// count relative to the edge content.
+	f.Add(3, encodeFuzzEdges([]Edge{{0, 1, 2}, {1, 2, 3}})[:20])
+	f.Add(1<<19, encodeFuzzEdges([]Edge{{0, 1, 1}}))
 	f.Fuzz(func(t *testing.T, n int, data []byte) {
 		if n < 0 || n > 1<<20 || len(data) > 1<<16 {
 			t.Skip() // bound harness memory, not parser behavior
@@ -182,21 +186,21 @@ func FuzzReadBinary(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[20] ^= 0xff
 	f.Add(flipped)
-	f.Fuzz(func(t *testing.T, in []byte) {
-		// Bound the fuzz harness's memory: the header's claimed n lives in
-		// bytes 8..16 (little endian).
-		if len(in) >= 24 {
-			le := func(lo int) uint64 {
-				v := uint64(0)
-				for i := lo + 7; i >= lo; i-- {
-					v = v<<8 | uint64(in[i])
-				}
-				return v
-			}
-			if le(8) > 1<<20 || le(16) > 1<<22 { // claimed n, nnz
-				t.Skip()
-			}
+	// Lying length prefixes: headers that claim far more payload than the
+	// stream carries. Chunked allocation must turn these into short-read
+	// errors, not multi-GiB make() calls — no skip guard needed anymore.
+	hostile := func(n, nnz, flag uint64) []byte {
+		var b bytes.Buffer
+		for _, v := range []uint64{binMagic, n, nnz, flag} {
+			binary.Write(&b, binary.LittleEndian, v)
 		}
+		return b.Bytes()
+	}
+	f.Add(hostile(1<<28, 1<<33, 0))                   // max in-range claim, zero payload
+	f.Add(hostile(3, 1<<60, 0))                       // nnz beyond the range check
+	f.Add(hostile(1<<63, 4, 1))                       // n overflows int32
+	f.Add(append(hostile(1<<20, 1<<22, 0), valid...)) // big claim, partial garbage payload
+	f.Fuzz(func(t *testing.T, in []byte) {
 		h, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {
 			return

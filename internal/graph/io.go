@@ -144,8 +144,45 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
+// readChunk bounds how many elements the binary readers allocate per step.
+// Size-prefixed formats must never trust a claimed length for an up-front
+// make(): a 32-byte crafted header claiming 2^34 elements would otherwise
+// demand tens of GiB before the short read is even noticed. Growing in
+// bounded windows means a truncated stream fails after at most one chunk.
+const readChunk = 1 << 16
+
+// ReadI64Chunked reads count little-endian int64 values, allocating in
+// readChunk-element steps so the peak over-allocation on a lying length
+// prefix is bounded. Shared by the CSR container and the hierarchy format.
+func ReadI64Chunked(r io.Reader, count int, what string) ([]int64, error) {
+	out := make([]int64, 0, min(count, readChunk))
+	for len(out) < count {
+		k := min(count-len(out), readChunk)
+		out = append(out, make([]int64, k)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-k:]); err != nil {
+			return nil, fmt.Errorf("graph: short %s (%d/%d values): %w", what, len(out)-k, count, err)
+		}
+	}
+	return out, nil
+}
+
+// ReadI32Chunked is ReadI64Chunked for int32 payloads.
+func ReadI32Chunked(r io.Reader, count int, what string) ([]int32, error) {
+	out := make([]int32, 0, min(count, readChunk))
+	for len(out) < count {
+		k := min(count-len(out), readChunk)
+		out = append(out, make([]int32, k)...)
+		if err := binary.Read(r, binary.LittleEndian, out[len(out)-k:]); err != nil {
+			return nil, fmt.Errorf("graph: short %s (%d/%d values): %w", what, len(out)-k, count, err)
+		}
+	}
+	return out, nil
+}
+
 // ReadBinary parses the container written by WriteBinary and validates the
-// result.
+// result. It is safe on untrusted input: claimed lengths are range-checked
+// and materialized in bounded chunks, so truncated or lying headers produce
+// an error, not an enormous allocation.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [4]uint64
@@ -157,28 +194,23 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if hdr[0] != binMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
 	}
+	if hdr[1] > MaxParseVertices || hdr[2] > uint64(2*maxParseEdges) || hdr[3] > 1 {
+		return nil, fmt.Errorf("graph: bad binary sizes n=%d nnz=%d flag=%d", hdr[1], hdr[2], hdr[3])
+	}
 	n, nnz := int(hdr[1]), int(hdr[2])
-	if n < 0 || nnz < 0 || n > MaxParseVertices || int64(nnz) > 2*maxParseEdges {
-		return nil, fmt.Errorf("graph: bad binary sizes n=%d nnz=%d", n, nnz)
-	}
-	g := &Graph{
-		NumV: int32(n),
-		Xadj: make([]int64, n+1),
-		Adj:  make([]int32, nnz),
-		Wgt:  make([]int64, nnz),
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.Xadj); err != nil {
+	g := &Graph{NumV: int32(n)}
+	var err error
+	if g.Xadj, err = ReadI64Chunked(br, n+1, "Xadj"); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+	if g.Adj, err = ReadI32Chunked(br, nnz, "Adj"); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Wgt); err != nil {
+	if g.Wgt, err = ReadI64Chunked(br, nnz, "Wgt"); err != nil {
 		return nil, err
 	}
 	if hdr[3] == 1 {
-		g.VWgt = make([]int64, n)
-		if err := binary.Read(br, binary.LittleEndian, g.VWgt); err != nil {
+		if g.VWgt, err = ReadI64Chunked(br, n, "VWgt"); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,32 @@
+package obs
+
+import "context"
+
+// Context carriage for traces. A server (or any orchestrator that hops
+// goroutines between accepting a request and executing it) creates a trace
+// with NewTrace, stores it in the request context with NewContext, and the
+// goroutine that ends up doing the work attaches it for the duration —
+// either explicitly (TraceFromContext + Attach) or implicitly through
+// coarsen.(*Coarsener).RunCtx, which attaches a context-carried trace
+// around the multilevel loop. Because traces are goroutine-scoped, any
+// number of requests can be traced concurrently without sharing state.
+
+type ctxKey struct{}
+
+// NewContext returns a copy of ctx carrying the trace. A nil trace returns
+// ctx unchanged.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -45,20 +45,35 @@
 //
 // # Zero overhead when disabled
 //
-// Tracing is off unless a Trace is installed with StartTrace. Every entry
-// point a hot path can reach begins with a single ambient-pointer load and
-// a nil check: no allocation, no atomic read-modify-write, no lock.
-// TestObsDisabledZeroAlloc proves the allocation claim with
-// testing.AllocsPerRun; BenchmarkObsOverhead (in internal/coarsen) bounds
-// the throughput delta of the instrumented disabled path.
+// Tracing is off unless a Trace is bound to the calling goroutine. Every
+// entry point a hot path can reach begins with a single atomic load of the
+// process-wide bound-trace count and a nil check: no allocation, no atomic
+// read-modify-write, no lock. Only when at least one trace is live
+// anywhere does a call resolve the calling goroutine's id and consult the
+// sharded goroutine→trace registry. TestObsDisabledZeroAlloc proves the
+// allocation claim with testing.AllocsPerRun; BenchmarkObsOverhead (in
+// internal/coarsen) bounds the throughput delta of the instrumented
+// disabled path.
 //
 // # Concurrency model
 //
-// The ambient span stack (StartTrace/StartKernel/Done) is manipulated only
-// by the orchestrating goroutine — the one that calls the par primitives,
-// never from inside a parallel region. Worker goroutines concurrently
-// *report into* the current span (BusyAdd, Add, Child), which is safe:
-// busy slots and counters are atomic adds, and child-span creation takes
-// the span's mutex. One trace is active at a time; installing a second
-// trace while one is active returns nil.
+// Traces are goroutine-scoped, not process-global: the package-level
+// helpers (StartKernel, Add, Ambient, Enabled) resolve to the trace bound
+// to the *calling goroutine*, so any number of traced runs — e.g.
+// concurrent requests inside mlcg-serve — proceed independently, each
+// building its own laminar span tree. StartTrace creates a trace and
+// binds the calling goroutine (returning nil only if that goroutine is
+// already tracing); NewTrace creates an unbound trace that a different
+// goroutine attaches with Attach, typically carried there inside a
+// context.Context via NewContext/TraceFromContext.
+//
+// Within one trace, the ambient span stack (StartKernel/Done) is
+// manipulated only by the orchestrating goroutine — the one that calls
+// the par primitives, never from inside a parallel region. Worker
+// goroutines concurrently *report into* the current span (BusyAdd, Add,
+// Child), which is safe: busy slots and counters are atomic adds, and
+// child-span creation takes the span's mutex. internal/par binds each
+// worker goroutine to the spawning run's trace for the duration of a
+// parallel loop, so batched package-level Add flushes inside worker
+// closures reach the correct trace even with many traced runs in flight.
 package obs

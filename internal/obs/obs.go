@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,54 +131,185 @@ type Span struct {
 	ctr [numCounters]int64
 }
 
-// Trace owns one trace tree. Obtain with StartTrace, finish with Stop,
-// then export with WriteTrace/WriteMetrics.
+// Trace owns one trace tree. Obtain with StartTrace (create + bind the
+// calling goroutine) or NewTrace (create unbound, for handing to another
+// goroutine), finish with Stop, then export with WriteTrace/WriteMetrics.
+//
+// A trace is *goroutine-scoped*, not process-global: the package-level
+// helpers (StartKernel, Add, Ambient) resolve to the trace bound to the
+// calling goroutine, so any number of traced runs can proceed concurrently
+// — each run's span tree is built only from its own goroutine (plus the
+// worker goroutines internal/par binds for the duration of each parallel
+// loop) and never sees a sibling run's spans or counters.
 type Trace struct {
 	Root  *Span
 	epoch time.Time
+
+	// cur is the innermost open span — the top of the ambient stack. Only
+	// the bound orchestrating goroutine pushes/pops it; worker goroutines
+	// read it through Ambient while the orchestrator is parked in the
+	// parallel runtime, hence the atomic.
+	cur atomic.Pointer[Span]
+
+	// owner is the goroutine StartTrace bound (0 for NewTrace traces);
+	// Stop uses it to undo the binding from any goroutine.
+	owner   uint64
+	stopped atomic.Bool
 }
 
-// ambient is the innermost open span of the active trace, or nil when
-// tracing is disabled. Loading it is the entire cost of the disabled path.
-var ambient atomic.Pointer[Span]
+// Goroutine-to-trace registry. The disabled fast path is one atomic load
+// of activeBinds: when no goroutine anywhere is bound to a trace, every
+// hot-path entry point returns after that single load. Only when at least
+// one trace is live does a call resolve the calling goroutine's id and
+// consult its registry shard.
+const regShards = 64
 
-// activeTrace guards against concurrent traces (see the package comment).
-var activeTrace atomic.Pointer[Trace]
+type traceShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Trace
+}
 
-// Enabled reports whether a trace is active.
-func Enabled() bool { return ambient.Load() != nil }
+var (
+	registry    [regShards]traceShard
+	activeBinds atomic.Int64
+)
 
-// Ambient returns the innermost open span, or nil when tracing is
-// disabled.
-func Ambient() *Span { return ambient.Load() }
+// goid returns the current goroutine's id, parsed from the first line of
+// runtime.Stack ("goroutine N [running]:"). The tiny buffer keeps the cost
+// to a shallow stack header write; goroutine ids are never reused.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
 
-// StartTrace installs a new trace whose root span has the given name and
-// returns it. Returns nil — tracing stays disabled — if another trace is
-// already active.
-func StartTrace(name string) *Trace {
-	t := &Trace{epoch: time.Now()}
-	if !activeTrace.CompareAndSwap(nil, t) {
+// bindG points goroutine id at t, returning the previous binding (nil if
+// none) so callers can restore it.
+func bindG(id uint64, t *Trace) *Trace {
+	sh := &registry[id%regShards]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]*Trace)
+	}
+	prev := sh.m[id]
+	sh.m[id] = t
+	sh.mu.Unlock()
+	if prev == nil {
+		activeBinds.Add(1)
+	}
+	return prev
+}
+
+// unbindG restores goroutine id's binding to prev (nil removes it).
+func unbindG(id uint64, prev *Trace) {
+	sh := &registry[id%regShards]
+	sh.mu.Lock()
+	if prev == nil {
+		delete(sh.m, id)
+	} else {
+		sh.m[id] = prev
+	}
+	sh.mu.Unlock()
+	if prev == nil {
+		activeBinds.Add(-1)
+	}
+}
+
+// curTrace returns the trace bound to the calling goroutine, or nil. The
+// activeBinds check is the entire cost when tracing is disabled anywhere
+// in the process.
+func curTrace() *Trace {
+	if activeBinds.Load() == 0 {
 		return nil
 	}
-	t.Root = &Span{name: name, trace: t}
-	ambient.Store(t.Root)
+	id := goid()
+	sh := &registry[id%regShards]
+	sh.mu.RLock()
+	t := sh.m[id]
+	sh.mu.RUnlock()
 	return t
 }
 
-// Stop ends every still-open span (innermost first), uninstalls the trace,
-// and disables tracing. Safe on a nil receiver and idempotent.
-func (t *Trace) Stop() {
+// Enabled reports whether a trace is bound to the calling goroutine.
+func Enabled() bool { return curTrace() != nil }
+
+// Ambient returns the innermost open span of the calling goroutine's
+// trace, or nil when the goroutine is not tracing.
+func Ambient() *Span {
+	t := curTrace()
 	if t == nil {
+		return nil
+	}
+	return t.cur.Load()
+}
+
+// NewTrace creates a trace with an open root span without binding it to
+// any goroutine. Use Attach (directly or via a context handed to
+// Coarsener.RunCtx) to make the package-level helpers resolve to it on the
+// goroutine that performs the traced work.
+func NewTrace(name string) *Trace {
+	t := &Trace{epoch: time.Now()}
+	t.Root = &Span{name: name, trace: t}
+	t.cur.Store(t.Root)
+	return t
+}
+
+// StartTrace creates a new trace whose root span has the given name, binds
+// it to the calling goroutine, and returns it. Returns nil — this
+// goroutine's tracing stays disabled — if the goroutine is already bound
+// to a trace. Traces on *other* goroutines are independent: concurrent
+// runs may each hold their own.
+func StartTrace(name string) *Trace {
+	id := goid()
+	sh := &registry[id%regShards]
+	sh.mu.RLock()
+	bound := sh.m[id]
+	sh.mu.RUnlock()
+	if bound != nil {
+		return nil
+	}
+	t := NewTrace(name)
+	t.owner = id
+	bindG(id, t)
+	return t
+}
+
+// Attach binds the calling goroutine to the trace so StartKernel/Add/
+// Ambient resolve to it, and returns the function that undoes the binding
+// (restoring whatever trace, if any, was bound before). detach must be
+// called on the same goroutine. Safe on nil (no-op).
+func (t *Trace) Attach() (detach func()) {
+	if t == nil {
+		return func() {}
+	}
+	id := goid()
+	prev := bindG(id, t)
+	return func() { unbindG(id, prev) }
+}
+
+// Stop ends every still-open span (innermost first) and, when the trace
+// was bound by StartTrace, unbinds its owner goroutine. Safe on a nil
+// receiver and idempotent; bindings made with Attach are released by their
+// own detach functions, not by Stop.
+func (t *Trace) Stop() {
+	if t == nil || !t.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	cur := ambient.Load()
-	for s := cur; s != nil; s = s.parent {
-		if s.trace == t {
-			s.End()
-		}
+	for s := t.cur.Load(); s != nil; s = s.parent {
+		s.End()
 	}
-	if activeTrace.CompareAndSwap(t, nil) && cur != nil && cur.trace == t {
-		ambient.Store(nil)
+	t.cur.Store(nil)
+	if t.owner != 0 {
+		unbindG(t.owner, nil)
 	}
 }
 
@@ -185,16 +317,20 @@ func (t *Trace) Stop() {
 func (t *Trace) now() time.Duration { return time.Since(t.epoch) }
 
 // StartKernel opens a child of the ambient span, makes it the new ambient
-// span, and returns it. Returns nil instantly when tracing is disabled.
-// Must be called from the orchestrating goroutine; the matching Done
-// restores the parent as ambient.
+// span, and returns it. Returns nil instantly when the calling goroutine
+// is not tracing. Must be called from the orchestrating goroutine; the
+// matching Done restores the parent as ambient.
 func StartKernel(name string) *Span {
-	a := ambient.Load()
-	if a == nil {
+	t := curTrace()
+	if t == nil {
 		return nil
 	}
+	a := t.cur.Load()
+	if a == nil {
+		return nil // trace already stopped
+	}
 	s := a.Child(name)
-	ambient.Store(s)
+	t.cur.Store(s)
 	return s
 }
 
@@ -205,9 +341,17 @@ func (s *Span) Done() {
 		return
 	}
 	s.End()
-	if ambient.Load() == s {
-		ambient.Store(s.parent)
+	if s.trace.cur.Load() == s {
+		s.trace.cur.Store(s.parent)
 	}
+}
+
+// Trace returns the trace the span belongs to (nil on nil).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
 }
 
 // Child creates and opens a child span without touching the ambient
@@ -253,10 +397,10 @@ func (s *Span) Add(c Counter, n int64) {
 	atomic.AddInt64(&s.ctr[c], n)
 }
 
-// Add increments counter c on the ambient span — the form hot paths use
-// after batching counts locally. One pointer load + nil check when
-// disabled.
-func Add(c Counter, n int64) { ambient.Load().Add(c, n) }
+// Add increments counter c on the calling goroutine's ambient span — the
+// form hot paths use after batching counts locally. One atomic load + nil
+// check when tracing is disabled.
+func Add(c Counter, n int64) { Ambient().Add(c, n) }
 
 // BusyAdd accumulates d of busy time for worker w on this span. Safe on
 // nil and from any goroutine; worker ids beyond the slot bound fold into

@@ -2,6 +2,8 @@ package obs_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -90,13 +92,121 @@ func TestStopClosesOpenSpans(t *testing.T) {
 	tr2.Stop()
 }
 
-func TestSingleActiveTrace(t *testing.T) {
+func TestSingleActiveTracePerGoroutine(t *testing.T) {
 	tr := startTrace(t, "run")
 	if tr2 := obs.StartTrace("second"); tr2 != nil {
 		tr2.Stop()
-		t.Fatal("second concurrent StartTrace succeeded")
+		t.Fatal("second StartTrace on the same goroutine succeeded")
 	}
 	tr.Stop()
+}
+
+// TestConcurrentTraces is the regression test for the process-global
+// ambient/activeTrace bug: two goroutines each run their own traced span
+// stack concurrently, and neither clobbers the other — every span lands in
+// its own trace, counters stay separate, and both trees remain laminar.
+// Run under -race this also exercises the registry for data races.
+func TestConcurrentTraces(t *testing.T) {
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"alpha", "beta"}[g]
+			tr := obs.StartTrace(name)
+			if tr == nil {
+				errs <- fmt.Errorf("goroutine %d: StartTrace returned nil", g)
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				lvl := obs.StartKernel("level")
+				k := obs.StartKernel("kernel")
+				obs.Add(obs.CtrCASRetry, int64(g+1))
+				if got := obs.Ambient(); got != k {
+					errs <- fmt.Errorf("goroutine %d: ambient = %q, want own kernel", g, got.Name())
+					return
+				}
+				k.Done()
+				lvl.Done()
+			}
+			tr.Stop()
+			if tr.Root.Name() != name {
+				errs <- fmt.Errorf("goroutine %d: root = %q", g, tr.Root.Name())
+				return
+			}
+			if got := len(tr.Root.Children()); got != rounds {
+				errs <- fmt.Errorf("goroutine %d: %d level spans, want %d", g, got, rounds)
+				return
+			}
+			if got := tr.Root.Counters()["cas_retries"]; got != int64(rounds*(g+1)) {
+				errs <- fmt.Errorf("goroutine %d: cas_retries = %d, want %d", g, got, rounds*(g+1))
+				return
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteTrace(&buf); err != nil {
+				errs <- err
+				return
+			}
+			if err := obs.CheckTrace(bytes.NewReader(buf.Bytes()), obs.CheckOptions{}); err != nil {
+				errs <- fmt.Errorf("goroutine %d: non-laminar trace: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAttachContext covers the server-shaped lifecycle: a trace created on
+// one goroutine, carried through a context, and attached by the goroutine
+// that does the work.
+func TestAttachContext(t *testing.T) {
+	tr := obs.NewTrace("request")
+	ctx := obs.NewContext(context.Background(), tr)
+	if got := obs.TraceFromContext(ctx); got != tr {
+		t.Fatal("TraceFromContext lost the trace")
+	}
+	if obs.TraceFromContext(context.Background()) != nil {
+		t.Fatal("TraceFromContext invented a trace")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		detach := obs.TraceFromContext(ctx).Attach()
+		k := obs.StartKernel("work")
+		obs.Add(obs.CtrCommit, 3)
+		k.Done()
+		detach()
+		if obs.Enabled() {
+			t.Error("goroutine still traced after detach")
+		}
+	}()
+	<-done
+	tr.Stop()
+	if got := tr.Root.Counters()["commits"]; got != 3 {
+		t.Fatalf("commits = %d, want 3", got)
+	}
+	// Attach restores a previous binding rather than dropping it.
+	outer := obs.StartTrace("outer")
+	detach := tr.Attach()
+	if obs.Ambient() != nil {
+		t.Fatal("stopped trace should expose no ambient span")
+	}
+	detach()
+	if !obs.Enabled() {
+		t.Fatal("detach did not restore the outer trace binding")
+	}
+	outer.Stop()
+	// Nil-safety of the handle API.
+	var nilTr *obs.Trace
+	nilTr.Attach()()
+	if obs.NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil) should return ctx unchanged")
+	}
 }
 
 // TestConcurrentWorkers exercises the reporting surface the way
@@ -112,6 +222,9 @@ func TestConcurrentWorkers(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Workers bind themselves to the span's trace, exactly as
+			// par's obsWorker does, so package-level Add resolves here.
+			defer kern.Trace().Attach()()
 			for i := 0; i < 100; i++ {
 				kern.BusyAdd(w, time.Microsecond)
 				kern.Add(obs.CtrCASRetry, 1)

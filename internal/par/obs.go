@@ -17,8 +17,13 @@ import (
 
 // obsWorker runs one statically-assigned worker body under a pprof label
 // naming the ambient kernel and charges its wall time to the span's busy
-// slot for worker w.
+// slot for worker w. It also binds the worker goroutine to the span's
+// trace for the duration, so package-level obs.Add flushes issued inside
+// the body land on the trace of the run that spawned the worker — not on
+// some other run's trace — when several traced runs proceed concurrently.
 func obsWorker(s *obs.Span, w int, body func()) {
+	detach := s.Trace().Attach()
+	defer detach()
 	pprof.Do(context.Background(), pprof.Labels("obs_kernel", s.Name()), func(context.Context) {
 		t0 := time.Now()
 		body()

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"mlcg/internal/graph"
+)
+
+// graphInfo is the ingest/info response body.
+type graphInfo struct {
+	ID     string `json:"id"`
+	N      int32  `json:"n"`
+	M      int64  `json:"m"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// handleIngest parses an uploaded graph (format=metis|binary|edgelist,
+// default metis) and publishes it under its content hash. The body is
+// capped by MaxBodyBytes, and the binary decoder grows buffers in bounded
+// chunks, so a hostile upload costs at most its own wire size — a lying
+// length prefix fails fast instead of reserving GiBs.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "metis":
+		g, err = graph.ReadMetis(body)
+	case "binary":
+		g, err = graph.ReadBinary(body)
+	case "edgelist":
+		g, err = graph.ReadEdgeList(body)
+	default:
+		s.httpError(w, http.StatusBadRequest, "unknown format %q (want metis, binary, or edgelist)", format)
+		return
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	id, err := contentID(g)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "hash: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if _, ok := s.graphs[id]; ok {
+		s.mu.Unlock()
+		s.stats.graphCacheHits.Add(1)
+		writeJSON(w, http.StatusOK, graphInfo{ID: id, N: g.NumV, M: g.M(), Cached: true})
+		return
+	}
+	if len(s.graphs) >= s.cfg.MaxGraphs {
+		s.mu.Unlock()
+		s.httpError(w, http.StatusInsufficientStorage, "graph cache full (%d entries)", s.cfg.MaxGraphs)
+		return
+	}
+	s.graphs[id] = &graphEntry{id: id, g: g, added: time.Now()}
+	s.mu.Unlock()
+
+	s.stats.graphsIngested.Add(1)
+	s.stats.ingestBytes.Add(r.ContentLength)
+	writeJSON(w, http.StatusCreated, graphInfo{ID: id, N: g.NumV, M: g.M()})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.getGraph(id)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "no graph %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphInfo{ID: e.id, N: e.g.NumV, M: e.g.M(), Cached: true})
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// handleMetrics writes a flat text exposition (name value per line,
+// Prometheus-style) of the server counters, the live queue/cache gauges,
+// and the obs kernel counters aggregated across every finished traced
+// request — so hot-path behavior (CAS retries, hash probes, workspace
+// reuse) is observable per deployment, not only per offline run.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	graphs := len(s.graphs)
+	hierarchies := len(s.builds)
+	s.mu.RUnlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	put := func(name string, v int64) {
+		fmt.Fprintf(w, "mlcg_%s %d\n", name, v)
+	}
+	put("graphs_ingested_total", s.stats.graphsIngested.Load())
+	put("ingest_bytes_total", s.stats.ingestBytes.Load())
+	put("graph_cache_hits_total", s.stats.graphCacheHits.Load())
+	put("builds_requested_total", s.stats.buildsRequested.Load())
+	put("build_cache_hits_total", s.stats.buildCacheHits.Load())
+	put("builds_completed_total", s.stats.buildsCompleted.Load())
+	put("builds_failed_total", s.stats.buildsFailed.Load())
+	put("builds_shed_total", s.stats.buildsShed.Load())
+	put("queries_partition_total", s.stats.queriesPartition.Load())
+	put("queries_cluster_total", s.stats.queriesCluster.Load())
+	put("queries_project_total", s.stats.queriesProject.Load())
+	put("request_errors_total", s.stats.requestErrors.Load())
+	put("build_queue_depth", int64(len(s.queue)))
+	put("build_queue_capacity", int64(cap(s.queue)))
+	put("graphs_cached", int64(graphs))
+	put("hierarchies_cached", int64(hierarchies))
+
+	s.obsMu.Lock()
+	names := make([]string, 0, len(s.obsCounters))
+	for k := range s.obsCounters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "mlcg_ctr_%s %d\n", k, s.obsCounters[k])
+	}
+	s.obsMu.Unlock()
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"mlcg/internal/cluster"
+	"mlcg/internal/obs"
+	"mlcg/internal/partition"
+)
+
+// Query endpoints operate on finished hierarchies without mutating them:
+// they solve on the (small) coarsest graph and project the answer back to
+// the fine graph through the mapping arrays — the paper's "coarsen once,
+// solve many" split. Any number run concurrently against one hierarchy;
+// the shared state is read-only CSR plus mapping slices, and each request
+// carries its own obs trace so span trees never interleave.
+
+// traced runs fn with a per-request trace attached to the handler's
+// goroutine and folds the resulting counters into /metrics.
+func (s *Server) traced(name string, fn func()) {
+	tr := obs.NewTrace(name)
+	detach := tr.Attach()
+	fn()
+	detach()
+	tr.Stop()
+	s.foldCounters(tr.Root.Counters())
+}
+
+type partitionRequest struct {
+	Hierarchy  string `json:"hierarchy"`
+	K          int    `json:"k"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Assignment bool   `json:"assignment,omitempty"` // include the per-vertex part array
+}
+
+type partitionResponse struct {
+	Hierarchy  string  `json:"hierarchy"`
+	K          int     `json:"k"`
+	Cut        int64   `json:"cut"`
+	Imbalance  float64 `json:"imbalance"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Assignment []int32 `json:"assignment,omitempty"`
+}
+
+// handlePartition k-way partitions the coarsest graph and projects the
+// parts to level 0; cut and imbalance are reported on the fine graph.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	s.stats.queriesPartition.Add(1)
+	var req partitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.K < 2 {
+		s.httpError(w, http.StatusBadRequest, "k must be >= 2 (got %d)", req.K)
+		return
+	}
+	h, _, err := s.getHierarchy(req.Hierarchy)
+	if err != nil {
+		s.httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var resp partitionResponse
+	var solveErr error
+	s.traced("partition "+req.Hierarchy, func() {
+		t0 := time.Now()
+		res, err := partition.KWayFM(h.Coarsest(), req.K, partition.KWayOptions{
+			Seed: req.Seed, Workers: s.cfg.Workers,
+		})
+		if err != nil {
+			solveErr = err
+			return
+		}
+		fine := h.ProjectToFine(res.Part)
+		g0 := h.Graphs[0]
+		resp = partitionResponse{
+			Hierarchy: req.Hierarchy,
+			K:         req.K,
+			Cut:       partition.KWayEdgeCut(g0, fine),
+			Imbalance: partition.KWayImbalance(g0, fine, req.K),
+			ElapsedMS: float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		if req.Assignment {
+			resp.Assignment = fine
+		}
+	})
+	if solveErr != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "partition: %v", solveErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type clusterRequest struct {
+	Hierarchy  string `json:"hierarchy"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Assignment bool   `json:"assignment,omitempty"`
+}
+
+type clusterResponse struct {
+	Hierarchy  string  `json:"hierarchy"`
+	K          int32   `json:"k"`
+	Modularity float64 `json:"modularity"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Assignment []int32 `json:"assignment,omitempty"`
+}
+
+// handleCluster runs Louvain on the coarsest graph, projects labels to the
+// fine graph, and reports fine-graph modularity.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.stats.queriesCluster.Add(1)
+	var req clusterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	h, _, err := s.getHierarchy(req.Hierarchy)
+	if err != nil {
+		s.httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var resp clusterResponse
+	var solveErr error
+	s.traced("cluster "+req.Hierarchy, func() {
+		t0 := time.Now()
+		res, err := cluster.Louvain(h.Coarsest(), cluster.Options{
+			Seed: req.Seed, Workers: s.cfg.Workers,
+		})
+		if err != nil {
+			solveErr = err
+			return
+		}
+		fine := h.ProjectToFine(res.Labels)
+		resp = clusterResponse{
+			Hierarchy:  req.Hierarchy,
+			K:          res.K,
+			Modularity: cluster.Modularity(h.Graphs[0], fine),
+			ElapsedMS:  float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		if req.Assignment {
+			resp.Assignment = fine
+		}
+	})
+	if solveErr != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "cluster: %v", solveErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type projectRequest struct {
+	Hierarchy string  `json:"hierarchy"`
+	Labels    []int32 `json:"labels"`
+}
+
+type projectResponse struct {
+	Hierarchy  string  `json:"hierarchy"`
+	Assignment []int32 `json:"assignment"`
+}
+
+// handleProject carries a caller-supplied per-vertex assignment on the
+// coarsest graph back to level 0 — the building block for custom solvers
+// that only need the hierarchy's mappings.
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	s.stats.queriesProject.Add(1)
+	var req projectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	h, _, err := s.getHierarchy(req.Hierarchy)
+	if err != nil {
+		s.httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if len(req.Labels) != int(h.Coarsest().NumV) {
+		s.httpError(w, http.StatusBadRequest, "labels cover %d vertices, coarsest graph has %d",
+			len(req.Labels), h.Coarsest().NumV)
+		return
+	}
+	var fine []int32
+	s.traced("project "+req.Hierarchy, func() {
+		fine = h.ProjectToFine(req.Labels)
+	})
+	writeJSON(w, http.StatusOK, projectResponse{Hierarchy: req.Hierarchy, Assignment: fine})
+}

@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve-smoke: end-to-end smoke test of mlcg-serve over a real socket.
+# Starts the daemon, ingests a small METIS graph, builds a hierarchy,
+# runs a partition query, scrapes /metrics, and checks graceful SIGTERM
+# drain. Exits non-zero on any failure. Used by `make serve-smoke` and CI.
+set -eu
+
+ADDR="${MLCG_SERVE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- server log ---" >&2
+    cat "$TMP/serve.log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building mlcg-serve"
+go build -o "$TMP/mlcg-serve" ./cmd/mlcg-serve
+
+echo "serve-smoke: starting on $ADDR"
+"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 2>"$TMP/serve.log" &
+PID=$!
+
+# Wait for the listener.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "server did not come up"
+    kill -0 "$PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+# A 7-vertex METIS graph (the METIS manual's example).
+cat >"$TMP/graph.metis" <<'EOF'
+7 11
+5 3 2
+1 3 4
+5 4 2 1
+2 3 6 7
+1 3 6
+5 4 7
+6 4
+EOF
+
+echo "serve-smoke: ingesting graph"
+GID=$(curl -sf --data-binary @"$TMP/graph.metis" "$BASE/v1/graphs" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$GID" ] || fail "ingest returned no graph id"
+
+echo "serve-smoke: building hierarchy for $GID"
+HID=$(curl -sf -d "{\"graph\":\"$GID\",\"cutoff\":2}" "$BASE/v1/hierarchies?wait=1" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$HID" ] || fail "build returned no hierarchy id"
+
+STATUS=$(curl -sf "$BASE/v1/hierarchies/$HID" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+[ "$STATUS" = "done" ] || fail "hierarchy status is '$STATUS', want done"
+
+echo "serve-smoke: partition query"
+CUT=$(curl -sf -d "{\"hierarchy\":\"$HID\",\"k\":2}" "$BASE/v1/partition" \
+    | sed -n 's/.*"cut":\([0-9-]*\).*/\1/p')
+[ -n "$CUT" ] || fail "partition returned no cut"
+
+echo "serve-smoke: metrics"
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q "mlcg_builds_completed_total 1" || fail "metrics missing completed build"
+echo "$METRICS" | grep -q "mlcg_queries_partition_total 1" || fail "metrics missing partition query"
+
+echo "serve-smoke: graceful drain (SIGTERM)"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server did not drain within 10s of SIGTERM"
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || fail "server exited non-zero on SIGTERM drain"
+grep -q "drained cleanly" "$TMP/serve.log" || fail "no clean-drain log line"
+PID=""
+
+echo "serve-smoke: OK (graph=$GID hierarchy=$HID cut=$CUT)"
