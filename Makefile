@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke metrics-lint tables figures trace verify clean
+
+# Prometheus exposition file checked by `make metrics-lint` — the default
+# is where scripts/serve-smoke.sh leaves its /metrics scrape.
+METRICS_FILE ?= /tmp/mlcg-metrics.prom
 
 all: build test
 
@@ -51,9 +55,16 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=20s -run=Fuzz ./internal/coarsen/
 
 # End-to-end smoke of the mlcg-serve daemon over a real socket: start,
-# ingest, build, query, scrape /metrics, SIGTERM graceful drain.
+# ingest, build, query, scrape /metrics (left at $(METRICS_FILE)), lint
+# the exposition, check /debug/requests and the structured logs, SIGTERM
+# graceful drain.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Strict Prometheus text-exposition lint of a /metrics scrape (HELP/TYPE
+# pairing, name charset, histogram bucket monotonicity, duplicates).
+metrics-lint:
+	$(GO) run ./cmd/mlcg-tracecheck -prom $(METRICS_FILE)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,7 +13,8 @@
 //	curl -s --data-binary @graph.metis 'localhost:8080/v1/graphs'
 //	curl -s -d '{"graph":"<id>","builder":"auto"}' 'localhost:8080/v1/hierarchies?wait=1'
 //	curl -s -d '{"hierarchy":"<hid>","k":8}' 'localhost:8080/v1/partition'
-//	curl -s 'localhost:8080/metrics'
+//	curl -s 'localhost:8080/metrics'          # Prometheus exposition
+//	curl -s 'localhost:8080/debug/requests'   # flight recorder (recent + slowest)
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight queries
 // finish, and running builds stop at their next level boundary.
@@ -25,13 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mlcg/internal/cli"
 	"mlcg/internal/serve"
 )
 
@@ -51,6 +52,9 @@ func run(args []string, stderr io.Writer) int {
 	maxGraphs := fs.Int("max-graphs", 256, "graph cache capacity")
 	maxHier := fs.Int("max-hierarchies", 256, "hierarchy cache capacity")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
+	flightSize := fs.Int("flight-recorder", 256, "completed-request ring size served at /debug/requests")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -58,15 +62,21 @@ func run(args []string, stderr io.Writer) int {
 		return 2
 	}
 
-	logger := log.New(stderr, "mlcg-serve: ", log.LstdFlags)
+	logger, err := cli.NewLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "mlcg-serve: %v\n", err)
+		return 2
+	}
 	srv := serve.New(serve.Config{
-		BuildWorkers:   *buildWorkers,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		BuildTimeout:   *buildTimeout,
-		MaxBodyBytes:   *maxBody,
-		MaxGraphs:      *maxGraphs,
-		MaxHierarchies: *maxHier,
+		BuildWorkers:       *buildWorkers,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		BuildTimeout:       *buildTimeout,
+		MaxBodyBytes:       *maxBody,
+		MaxGraphs:          *maxGraphs,
+		MaxHierarchies:     *maxHier,
+		FlightRecorderSize: *flightSize,
+		Logger:             logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -79,24 +89,24 @@ func run(args []string, stderr io.Writer) int {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", *addr)
+		logger.Info("listening on "+*addr, "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		logger.Printf("listen: %v", err)
+		logger.Error("listen failed", "error", err)
 		return 1
 	case <-ctx.Done():
 	}
 
-	logger.Printf("signal received; draining (budget %s)", *drain)
+	logger.Info("signal received; draining", "budget", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(stderr, "mlcg-serve: shutdown: %v\n", err)
+		logger.Error("shutdown", "error", err)
 	}
 	srv.Close()
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return 0
 }

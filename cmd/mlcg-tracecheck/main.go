@@ -1,14 +1,21 @@
-// mlcg-tracecheck validates Chrome trace_event JSON files produced by the
-// -trace flag of the other tools: every event must be a well-formed
-// complete ("X") event and the events on each thread must nest laminarly.
-// With -coarsen it additionally requires the span structure a coarsening
-// run emits (level spans containing map: and build: phases), which is what
-// CI runs against a generator graph.
+// mlcg-tracecheck validates the observability artifacts the other tools
+// produce. In its default mode it checks Chrome trace_event JSON files
+// written by the -trace flag: every event must be a well-formed complete
+// ("X") event and the events on each thread must nest laminarly. With
+// -coarsen it additionally requires the span structure a coarsening run
+// emits (level spans containing map: and build: phases), which is what CI
+// runs against a generator graph. With -prom the arguments are instead
+// Prometheus text-exposition files (e.g. a scrape of mlcg-serve's
+// /metrics) and are checked against the 0.0.4 format: HELP/TYPE pairing,
+// metric name charset, histogram bucket monotonicity and +Inf terminals,
+// no duplicate series.
 //
 // Usage:
 //
 //	mlcg-coarsen -gen grid2d -trace out.json
 //	mlcg-tracecheck -coarsen out.json
+//	curl -s localhost:8080/metrics > metrics.prom
+//	mlcg-tracecheck -prom metrics.prom
 package main
 
 import (
@@ -28,18 +35,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mlcg-tracecheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	coarsenTrace := fs.Bool("coarsen", false, "require the coarsening span structure (level/map/build spans)")
+	prom := fs.Bool("prom", false, "treat arguments as Prometheus text-exposition files instead of traces")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "mlcg-tracecheck: need at least one trace file")
+		fmt.Fprintln(stderr, "mlcg-tracecheck: need at least one input file")
 		fs.Usage()
 		return 2
 	}
-	opt := obs.CheckOptions{RequireCoarsen: *coarsenTrace}
+	if *prom && *coarsenTrace {
+		fmt.Fprintln(stderr, "mlcg-tracecheck: -prom and -coarsen are mutually exclusive")
+		return 2
+	}
 	code := 0
 	for _, path := range fs.Args() {
-		if err := obs.CheckTraceFile(path, opt); err != nil {
+		if *prom {
+			stats, err := obs.LintMetricsFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "mlcg-tracecheck: %s: %v\n", path, err)
+				code = 1
+				continue
+			}
+			fmt.Fprintf(stdout, "%s: ok (%d families, %d samples)\n", path, len(stats.Families), stats.Samples)
+			continue
+		}
+		if err := obs.CheckTraceFile(path, obs.CheckOptions{RequireCoarsen: *coarsenTrace}); err != nil {
 			fmt.Fprintf(stderr, "mlcg-tracecheck: %s: %v\n", path, err)
 			code = 1
 			continue

@@ -67,3 +67,30 @@ func TestCheckRejectsBadInput(t *testing.T) {
 		t.Error("flat trace accepted with -coarsen")
 	}
 }
+
+func TestCheckPromMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	doc := "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x 1\n"
+	if err := os.WriteFile(good, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-prom", good}, &out, &errb); code != 0 {
+		t.Fatalf("valid exposition rejected: exit %d (%s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1 families, 1 samples") {
+		t.Errorf("unexpected output %q", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("mlcg_x 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-prom", bad}, &out, &errb); code == 0 {
+		t.Error("exposition without HELP/TYPE accepted")
+	}
+	if code := run([]string{"-prom", "-coarsen", good}, &out, &errb); code != 2 {
+		t.Error("-prom -coarsen combination accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"mlcg/internal/obs"
+)
+
+// The obs experiment records the telemetry tax itself: the per-call cost
+// of obs.Histogram.Observe on the enabled and the disabled (nil receiver)
+// path. It is the baseline twin of BenchmarkHistogramOverhead in
+// internal/obs — the committed number that lets a review spot the record
+// path growing a lock or an allocation. Both rows are nanoseconds per
+// call, far under the comparator's noise floor, so they inform rather
+// than gate.
+
+// measureObsOverhead times iters Observe calls per repetition and reports
+// the median per-call cost for the enabled and disabled paths.
+func measureObsOverhead(runs int) []Metric {
+	const iters = 1 << 20
+	if runs <= 0 {
+		runs = 3
+	}
+	perCall := func(h *obs.Histogram) float64 {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			h.Observe(time.Duration(i))
+		}
+		return float64(time.Since(t0)) / iters
+	}
+	med := func(f func() float64) (float64, []float64) {
+		vals := make([]float64, runs)
+		for i := range vals {
+			vals[i] = f()
+		}
+		raw := append([]float64(nil), vals...)
+		sort.Float64s(vals)
+		return vals[len(vals)/2], raw
+	}
+	mk := func(name string, v float64, samples []float64) Metric {
+		return Metric{
+			Experiment: "obs", Instance: "hist", Mapper: "-", Builder: "-", Workers: 1,
+			Name: name, Unit: "ns", Direction: LowerIsBetter, Value: v, Samples: samples,
+		}
+	}
+	enabled, enRaw := med(func() float64 { return perCall(obs.NewHistogram("bench")) })
+	disabled, disRaw := med(func() float64 { return perCall(nil) })
+	return []Metric{
+		mk("hist_record_ns", enabled, enRaw),
+		mk("hist_record_disabled_ns", disabled, disRaw),
+	}
+}

@@ -57,6 +57,12 @@ type RunConfig struct {
 	ServeConcurrency []int `json:"serve_concurrency,omitempty"`
 	ServeBuilds      int   `json:"serve_builds,omitempty"`
 	ServeQueries     int   `json:"serve_queries,omitempty"`
+
+	// ObsOverhead adds the "obs" experiment: the per-call cost of the
+	// telemetry record path (obs.Histogram.Observe, enabled and disabled),
+	// committed so the tax of instrumenting the serve hot path stays
+	// visible in the baseline history.
+	ObsOverhead bool `json:"obs_overhead,omitempty"`
 }
 
 // FastConfig is the CI slice: three small instances (one regular, two
@@ -83,6 +89,7 @@ func FastConfig() RunConfig {
 		// shared-hierarchy query throughput, gated like every other row.
 		Serve:            true,
 		ServeConcurrency: []int{1, 8},
+		ObsOverhead:      true,
 	}
 }
 
@@ -103,6 +110,7 @@ func FullConfig() RunConfig {
 		ServeConcurrency: []int{1, 4, 8},
 		ServeBuilds:      48,
 		ServeQueries:     96,
+		ObsOverhead:      true,
 	}
 	for _, inst := range (Options{}).Suite() {
 		cfg.Instances = append(cfg.Instances, inst.Name)
@@ -218,6 +226,10 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 			return nil, err
 		}
 		b.Metrics = append(b.Metrics, ms...)
+	}
+	// The telemetry-tax experiment: histogram record path cost.
+	if cfg.ObsOverhead {
+		b.Metrics = append(b.Metrics, measureObsOverhead(cfg.Runs)...)
 	}
 	b.Sort()
 	return b, nil

@@ -14,6 +14,7 @@ import (
 
 	"mlcg/internal/gen"
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 	"mlcg/internal/serve"
 )
 
@@ -64,8 +65,10 @@ func servePost(client *http.Client, url string, body []byte, out any) (int, erro
 // serveBuildQPS runs one repetition: a fresh server (so the hierarchy
 // cache cannot carry answers across reps), all graphs pre-ingested, then
 // `conc` client goroutines drain the build list with blocking requests.
-// Returns completed builds per second.
-func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, error) {
+// Returns completed builds per second plus the client-observed per-build
+// latency histogram (wall time of the blocking request, queue wait
+// included — the latency a caller of the service actually sees).
+func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, obs.HistSnapshot, error) {
 	s := serve.New(serve.Config{
 		BuildWorkers: conc,
 		Workers:      1,
@@ -82,17 +85,18 @@ func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, error) {
 	for i, g := range graphs {
 		var buf bytes.Buffer
 		if err := g.WriteBinary(&buf); err != nil {
-			return 0, err
+			return 0, obs.HistSnapshot{}, err
 		}
 		var info struct {
 			ID string `json:"id"`
 		}
 		if _, err := servePost(client, ts.URL+"/v1/graphs?format=binary", buf.Bytes(), &info); err != nil {
-			return 0, fmt.Errorf("ingest %d: %w", i, err)
+			return 0, obs.HistSnapshot{}, fmt.Errorf("ingest %d: %w", i, err)
 		}
 		ids[i] = info.ID
 	}
 
+	lat := obs.NewHistogram("client_build_latency")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	errCh := make(chan error, conc)
@@ -111,10 +115,12 @@ func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, error) {
 					Status string `json:"status"`
 					Error  string `json:"error"`
 				}
+				r0 := time.Now()
 				if _, err := servePost(client, ts.URL+"/v1/hierarchies?wait=1", body, &st); err != nil {
 					errCh <- fmt.Errorf("build %d: %w", i, err)
 					return
 				}
+				lat.Observe(time.Since(r0))
 				if st.Status != "done" {
 					errCh <- fmt.Errorf("build %d: status %q (%s)", i, st.Status, st.Error)
 					return
@@ -126,14 +132,15 @@ func serveBuildQPS(conc int, graphs []*graph.Graph) (float64, error) {
 	elapsed := time.Since(t0)
 	close(errCh)
 	for err := range errCh {
-		return 0, err
+		return 0, obs.HistSnapshot{}, err
 	}
-	return float64(len(ids)) / elapsed.Seconds(), nil
+	return float64(len(ids)) / elapsed.Seconds(), lat.Snapshot(), nil
 }
 
 // serveQueryQPS builds one larger hierarchy and then hammers it with
-// concurrent partition queries. Returns queries per second.
-func serveQueryQPS(conc, queries, scale int) (float64, error) {
+// concurrent partition queries. Returns queries per second plus the
+// client-observed per-query latency histogram.
+func serveQueryQPS(conc, queries, scale int) (float64, obs.HistSnapshot, error) {
 	s := serve.New(serve.Config{
 		BuildWorkers: 1,
 		Workers:      0,
@@ -153,13 +160,13 @@ func serveQueryQPS(conc, queries, scale int) (float64, error) {
 	g := gen.RMAT(12+sc, 8, 6)
 	var buf bytes.Buffer
 	if err := g.WriteBinary(&buf); err != nil {
-		return 0, err
+		return 0, obs.HistSnapshot{}, err
 	}
 	var info struct {
 		ID string `json:"id"`
 	}
 	if _, err := servePost(client, ts.URL+"/v1/graphs?format=binary", buf.Bytes(), &info); err != nil {
-		return 0, err
+		return 0, obs.HistSnapshot{}, err
 	}
 	body, _ := json.Marshal(map[string]any{"graph": info.ID})
 	var st struct {
@@ -167,12 +174,13 @@ func serveQueryQPS(conc, queries, scale int) (float64, error) {
 		Status string `json:"status"`
 	}
 	if _, err := servePost(client, ts.URL+"/v1/hierarchies?wait=1", body, &st); err != nil {
-		return 0, err
+		return 0, obs.HistSnapshot{}, err
 	}
 	if st.Status != "done" {
-		return 0, fmt.Errorf("hierarchy build did not finish: %q", st.Status)
+		return 0, obs.HistSnapshot{}, fmt.Errorf("hierarchy build did not finish: %q", st.Status)
 	}
 
+	lat := obs.NewHistogram("client_query_latency")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	errCh := make(chan error, conc)
@@ -187,10 +195,12 @@ func serveQueryQPS(conc, queries, scale int) (float64, error) {
 					return
 				}
 				q, _ := json.Marshal(map[string]any{"hierarchy": st.ID, "k": 4, "seed": i})
+				r0 := time.Now()
 				if _, err := servePost(client, ts.URL+"/v1/partition", q, nil); err != nil {
 					errCh <- fmt.Errorf("query %d: %w", i, err)
 					return
 				}
+				lat.Observe(time.Since(r0))
 			}
 		}(c)
 	}
@@ -198,13 +208,32 @@ func serveQueryQPS(conc, queries, scale int) (float64, error) {
 	elapsed := time.Since(t0)
 	close(errCh)
 	for err := range errCh {
-		return 0, err
+		return 0, obs.HistSnapshot{}, err
 	}
-	return float64(queries) / elapsed.Seconds(), nil
+	return float64(queries) / elapsed.Seconds(), lat.Snapshot(), nil
 }
 
-// measureServe produces the serve experiment's metrics: build_qps per
-// configured client concurrency and query_qps at the highest concurrency.
+// latencyRows folds a merged latency histogram into baseline rows: the
+// mean (a continuous value, gated like any ns metric) plus p50/p99 bucket
+// bounds. The quantiles are Informational — power-of-two buckets quantize
+// them, so a one-bucket shift reads as a 2× change and would trip any
+// sane relative gate on noise alone; the mean carries the regression
+// signal instead.
+func latencyRows(mk func(name, unit string, dir Direction, v float64, samples []float64) Metric, prefix string, snap obs.HistSnapshot, reps []float64) []Metric {
+	if snap.Count == 0 {
+		return nil
+	}
+	mean := float64(snap.Sum) / float64(snap.Count)
+	return []Metric{
+		mk(prefix+"_latency_mean_ns", "ns", LowerIsBetter, mean, reps),
+		mk(prefix+"_latency_p50_ns", "ns", Informational, float64(snap.Quantile(0.50)), nil),
+		mk(prefix+"_latency_p99_ns", "ns", Informational, float64(snap.Quantile(0.99)), nil),
+	}
+}
+
+// measureServe produces the serve experiment's metrics: build_qps and
+// client-observed build latency per configured client concurrency, and
+// query_qps plus query latency at the highest concurrency.
 func measureServe(cfg RunConfig, opt Options) ([]Metric, error) {
 	concs := cfg.ServeConcurrency
 	if len(concs) == 0 {
@@ -239,15 +268,24 @@ func measureServe(cfg RunConfig, opt Options) ([]Metric, error) {
 	var out []Metric
 	for _, conc := range concs {
 		vals := make([]float64, runs)
+		means := make([]float64, 0, runs)
+		var merged obs.HistSnapshot
 		for rep := range vals {
-			qps, err := serveBuildQPS(conc, serveBatchGraphs(builds, scale))
+			qps, snap, err := serveBuildQPS(conc, serveBatchGraphs(builds, scale))
 			if err != nil {
 				return nil, fmt.Errorf("bench: serve build qps (conc=%d): %w", conc, err)
 			}
 			vals[rep] = qps
+			if snap.Count > 0 {
+				means = append(means, float64(snap.Sum)/float64(snap.Count))
+			}
+			merged.Merge(snap)
 		}
 		med, raw := median(vals)
 		out = append(out, mk(conc, "build_qps", "builds/s", HigherIsBetter, med, raw))
+		out = append(out, latencyRows(func(name, unit string, dir Direction, v float64, samples []float64) Metric {
+			return mk(conc, name, unit, dir, v, samples)
+		}, "build", merged, means)...)
 	}
 
 	qconc := concs[len(concs)-1]
@@ -255,16 +293,28 @@ func measureServe(cfg RunConfig, opt Options) ([]Metric, error) {
 		qconc = 8
 	}
 	vals := make([]float64, runs)
+	qmeans := make([]float64, 0, runs)
+	var qmerged obs.HistSnapshot
 	for rep := range vals {
-		qps, err := serveQueryQPS(qconc, queries, scale)
+		qps, snap, err := serveQueryQPS(qconc, queries, scale)
 		if err != nil {
 			return nil, fmt.Errorf("bench: serve query qps: %w", err)
 		}
 		vals[rep] = qps
+		if snap.Count > 0 {
+			qmeans = append(qmeans, float64(snap.Sum)/float64(snap.Count))
+		}
+		qmerged.Merge(snap)
 	}
 	med, raw := median(vals)
 	m := mk(qconc, "query_qps", "queries/s", HigherIsBetter, med, raw)
 	m.Instance = "rmat-shared"
 	out = append(out, m)
+	for _, lm := range latencyRows(func(name, unit string, dir Direction, v float64, samples []float64) Metric {
+		return mk(qconc, name, unit, dir, v, samples)
+	}, "query", qmerged, qmeans) {
+		lm.Instance = "rmat-shared"
+		out = append(out, lm)
+	}
 	return out, nil
 }

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("build", "outcome", "ok", "ms", 12.5)
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("json logger wrote non-JSON %q: %v", buf.String(), err)
+	}
+	if entry["msg"] != "build" || entry["outcome"] != "ok" {
+		t.Fatalf("entry = %v", entry)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "msg=visible") {
+		t.Fatalf("default text/info logger wrote %q", out)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "ERROR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("hidden")
+	lg.Error("boom")
+	if strings.Contains(buf.String(), "hidden") || !strings.Contains(buf.String(), "boom") {
+		t.Fatalf("error-level logger wrote %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "yaml", "info"); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+	if _, err := NewLogger(&buf, "json", "loud"); err == nil {
+		t.Fatal("accepted unknown level")
+	}
+}

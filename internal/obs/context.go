@@ -13,6 +13,30 @@ import "context"
 
 type ctxKey struct{}
 
+// reqIDKey carries the request id alongside the trace. The id is assigned
+// at the HTTP boundary and rides the same context the trace does, so the
+// structured log line a request emits and the spans/counters it records
+// can be joined after the fact.
+type reqIDKey struct{}
+
+// ContextWithRequestID returns a copy of ctx carrying the request id.
+// An empty id returns ctx unchanged.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request id carried by ctx, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
 // NewContext returns a copy of ctx carrying the trace. A nil trace returns
 // ctx unchanged.
 func NewContext(ctx context.Context, t *Trace) context.Context {

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) writer. The serve daemon's
+// /metrics endpoint and any other exporter build their output through
+// PromWriter so every family carries # HELP and # TYPE lines, names are
+// validated, histogram series are emitted in the cumulative
+// _bucket/_sum/_count form, and duplicate families or series are caught at
+// write time instead of by the scraper.
+
+// ValidMetricName reports whether s is a legal exposition metric name.
+// The accepted charset is deliberately stricter than Prometheus's grammar:
+// colons are reserved for recording rules and never belong in exporter
+// output, so they are rejected here and scrubbed by SanitizeMetricName.
+func ValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SanitizeMetricName maps an arbitrary key (obs counter names are clean,
+// but span-derived keys can carry ':', '-', spaces, ...) to a valid metric
+// name: every illegal rune becomes '_', a leading digit gets a '_' prefix,
+// and an empty input becomes "_". The mapping is not injective — use
+// SanitizeKeys when distinct inputs must stay distinct.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// SanitizeKeys sanitizes every key and resolves post-sanitization
+// collisions deterministically: keys are processed in sorted order, and
+// the second and later keys that map onto an already-taken name get a
+// "_2", "_3", ... suffix. The returned map is raw key → unique valid name.
+func SanitizeKeys(keys []string) map[string]string {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	out := make(map[string]string, len(sorted))
+	taken := make(map[string]bool, len(sorted))
+	for _, k := range sorted {
+		name := SanitizeMetricName(k)
+		if taken[name] {
+			for n := 2; ; n++ {
+				cand := fmt.Sprintf("%s_%d", name, n)
+				if !taken[cand] {
+					name = cand
+					break
+				}
+			}
+		}
+		taken[name] = true
+		out[k] = name
+	}
+	return out
+}
+
+// Label is one exposition label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter emits one exposition document. Families must be opened with
+// Family before their samples; the first error sticks and every later
+// call is a no-op, so call sites can chain writes and check Err once.
+type PromWriter struct {
+	w        io.Writer
+	err      error
+	families map[string]string // family name -> type
+	cur      string            // family currently being written
+	curType  string
+	series   map[string]bool // emitted "name{labels}" identities
+}
+
+// NewPromWriter starts an exposition document on w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, families: map[string]string{}, series: map[string]bool{}}
+}
+
+// Err returns the first error encountered (bad name, duplicate family or
+// series, underlying write failure).
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("prom: "+format, args...)
+	}
+}
+
+// Family opens a metric family: writes its # HELP and # TYPE lines and
+// makes it current for the Sample/Histogram calls that follow. typ must be
+// counter, gauge, histogram, or untyped; counter family names must end in
+// _total. Reopening a family is an error (the exposition format requires
+// all series of a family to be contiguous).
+func (p *PromWriter) Family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	if !ValidMetricName(name) {
+		p.fail("invalid metric name %q", name)
+		return
+	}
+	switch typ {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			p.fail("counter family %q must end in _total", name)
+			return
+		}
+	case "gauge", "histogram", "untyped":
+	default:
+		p.fail("family %q has unsupported type %q", name, typ)
+		return
+	}
+	if _, dup := p.families[name]; dup {
+		p.fail("family %q opened twice", name)
+		return
+	}
+	p.families[name] = typ
+	p.cur, p.curType = name, typ
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	_, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	if err != nil {
+		p.err = err
+	}
+}
+
+// Sample writes one sample of the current counter/gauge/untyped family.
+// labels may be nil.
+func (p *PromWriter) Sample(labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	if p.cur == "" {
+		p.fail("Sample before Family")
+		return
+	}
+	if p.curType == "histogram" {
+		p.fail("family %q is a histogram; use Histogram", p.cur)
+		return
+	}
+	p.writeSample(p.cur, labels, v)
+}
+
+// Histogram writes one labeled series of the current histogram family in
+// cumulative form: one _bucket sample per bound (terminated by le="+Inf"),
+// then _sum (seconds) and _count.
+func (p *PromWriter) Histogram(labels []Label, snap HistSnapshot) {
+	if p.err != nil {
+		return
+	}
+	if p.cur == "" || p.curType != "histogram" {
+		p.fail("Histogram outside a histogram family (current %q type %q)", p.cur, p.curType)
+		return
+	}
+	bounds := HistUpperBounds()
+	var cum int64
+	le := make([]Label, len(labels)+1)
+	copy(le, labels)
+	for i, ub := range bounds {
+		cum += snap.Buckets[i]
+		le[len(labels)] = Label{"le", strconv.FormatFloat(ub, 'g', -1, 64)}
+		p.writeSample(p.cur+"_bucket", le, float64(cum))
+	}
+	le[len(labels)] = Label{"le", "+Inf"}
+	p.writeSample(p.cur+"_bucket", le, float64(snap.Count))
+	p.writeSample(p.cur+"_sum", labels, snap.Sum.Seconds())
+	p.writeSample(p.cur+"_count", labels, float64(snap.Count))
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func (p *PromWriter) writeSample(name string, labels []Label, v float64) {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if !ValidMetricName(l.Name) || l.Name == "__name__" {
+				p.fail("series %s has invalid label name %q", name, l.Name)
+				return
+			}
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	id := sb.String()
+	if p.series[id] {
+		p.fail("duplicate series %s", id)
+		return
+	}
+	p.series[id] = true
+	if _, err := fmt.Fprintf(p.w, "%s %s\n", id, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+		p.err = err
+	}
+}

@@ -1,0 +1,221 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mlcg/internal/obs"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"cas_retries":          "cas_retries",
+		"policy:sort:trivial":  "policy_sort_trivial",
+		"map:hec":              "map_hec",
+		"9lives":               "_9lives",
+		"":                     "_",
+		"a-b c.d":              "a_b_c_d",
+		"ünïcode":              "_n_code",
+		"already_valid_Name_0": "already_valid_Name_0",
+	}
+	for in, want := range cases {
+		if got := obs.SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+		if !obs.ValidMetricName(obs.SanitizeMetricName(in)) {
+			t.Errorf("sanitized %q is still invalid", in)
+		}
+	}
+	if obs.ValidMetricName("has:colon") {
+		t.Error("ValidMetricName accepted a colon")
+	}
+	if obs.ValidMetricName("0leading") {
+		t.Error("ValidMetricName accepted a leading digit")
+	}
+}
+
+func TestSanitizeKeysDedup(t *testing.T) {
+	// a:b and a.b and a_b all sanitize to a_b; dedup must be deterministic
+	// (sorted input order) and produce valid, distinct names.
+	m := obs.SanitizeKeys([]string{"a:b", "a_b", "a.b"})
+	if len(m) != 3 {
+		t.Fatalf("lost keys: %v", m)
+	}
+	seen := map[string]string{}
+	for raw, name := range m {
+		if !obs.ValidMetricName(name) {
+			t.Errorf("key %q → invalid name %q", raw, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("keys %q and %q collided on %q", prev, raw, name)
+		}
+		seen[name] = raw
+	}
+	// Deterministic: sorted order is "a.b" < "a:b" < "a_b", so "a.b" wins
+	// the bare name and the later keys take numbered suffixes.
+	if m["a.b"] != "a_b" || m["a:b"] != "a_b_2" || m["a_b"] != "a_b_3" {
+		t.Fatalf("non-deterministic dedup: %v", m)
+	}
+	// Idempotent across calls.
+	m2 := obs.SanitizeKeys([]string{"a_b", "a.b", "a:b"})
+	for k, v := range m {
+		if m2[k] != v {
+			t.Fatalf("input order changed the mapping: %v vs %v", m, m2)
+		}
+	}
+}
+
+// promDoc writes a representative exposition document through PromWriter.
+func promDoc(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	p := obs.NewPromWriter(&buf)
+	p.Family("mlcg_builds_completed_total", "Hierarchy builds finished successfully.", "counter")
+	p.Sample(nil, 3)
+	p.Family("mlcg_build_queue_depth", "Builds waiting in the queue.", "gauge")
+	p.Sample(nil, 0)
+	h := obs.NewHistogram("x")
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Second)
+	p.Family("mlcg_query_seconds", "Query latency.", "histogram")
+	p.Histogram([]obs.Label{{Name: "kind", Value: "partition"}}, h.Snapshot())
+	p.Histogram([]obs.Label{{Name: "kind", Value: "cluster"}}, obs.HistSnapshot{})
+	if err := p.Err(); err != nil {
+		t.Fatalf("PromWriter: %v", err)
+	}
+	return buf.String()
+}
+
+func TestPromWriterOutputPassesLint(t *testing.T) {
+	doc := promDoc(t)
+	stats, err := obs.LintMetrics(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("writer output failed lint: %v\n%s", err, doc)
+	}
+	if stats.Families["mlcg_query_seconds"] != "histogram" {
+		t.Fatalf("families = %v", stats.Families)
+	}
+	for _, want := range []string{
+		"# HELP mlcg_builds_completed_total ",
+		"# TYPE mlcg_builds_completed_total counter",
+		`mlcg_query_seconds_bucket{kind="partition",le="+Inf"} 2`,
+		`mlcg_query_seconds_count{kind="partition"} 2`,
+		`mlcg_query_seconds_count{kind="cluster"} 0`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q\n%s", want, doc)
+		}
+	}
+}
+
+func TestPromWriterRejectsMisuse(t *testing.T) {
+	check := func(name string, f func(p *obs.PromWriter)) {
+		t.Helper()
+		var buf bytes.Buffer
+		p := obs.NewPromWriter(&buf)
+		f(p)
+		if p.Err() == nil {
+			t.Errorf("%s: writer accepted invalid usage", name)
+		}
+	}
+	check("invalid name", func(p *obs.PromWriter) { p.Family("bad:name", "h", "gauge") })
+	check("counter without _total", func(p *obs.PromWriter) { p.Family("mlcg_builds", "h", "counter") })
+	check("unknown type", func(p *obs.PromWriter) { p.Family("x", "h", "timer") })
+	check("sample before family", func(p *obs.PromWriter) { p.Sample(nil, 1) })
+	check("family reopened", func(p *obs.PromWriter) {
+		p.Family("x", "h", "gauge")
+		p.Sample(nil, 1)
+		p.Family("x", "h", "gauge")
+	})
+	check("duplicate series", func(p *obs.PromWriter) {
+		p.Family("x", "h", "gauge")
+		p.Sample(nil, 1)
+		p.Sample(nil, 2)
+	})
+	check("histogram via Sample", func(p *obs.PromWriter) {
+		p.Family("x", "h", "histogram")
+		p.Sample(nil, 1)
+	})
+	check("bad label name", func(p *obs.PromWriter) {
+		p.Family("x", "h", "gauge")
+		p.Sample([]obs.Label{{Name: "le gal", Value: "v"}}, 1)
+	})
+}
+
+func TestLintRejectsBadDocuments(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"no help", "mlcg_x 1\n"},
+		{"type before help", "# TYPE mlcg_x gauge\nmlcg_x 1\n"},
+		{"help without type", "# HELP mlcg_x h\nmlcg_x 1\n"},
+		{"family without samples", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\n"},
+		{"invalid name", "# HELP mlcg:x h\n# TYPE mlcg:x gauge\nmlcg:x 1\n"},
+		{"counter not _total", "# HELP mlcg_x h\n# TYPE mlcg_x counter\nmlcg_x 1\n"},
+		{"negative counter", "# HELP mlcg_x_total h\n# TYPE mlcg_x_total counter\nmlcg_x_total -1\n"},
+		{"foreign sample", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_y 1\n"},
+		{"duplicate series", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x 1\nmlcg_x 2\n"},
+		{"timestamp", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x 1 12345\n"},
+		{"bad value", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x one\n"},
+		{"blank line", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\n\nmlcg_x 1\n"},
+		{"redeclared family", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x 1\n# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x 2\n"},
+		{"histogram no +Inf", `# HELP h_s h
+# TYPE h_s histogram
+h_s_bucket{le="1"} 1
+h_s_sum 1
+h_s_count 1
+`},
+		{"histogram non-monotone buckets", `# HELP h_s h
+# TYPE h_s histogram
+h_s_bucket{le="1"} 5
+h_s_bucket{le="2"} 3
+h_s_bucket{le="+Inf"} 5
+h_s_sum 1
+h_s_count 5
+`},
+		{"histogram bounds not increasing", `# HELP h_s h
+# TYPE h_s histogram
+h_s_bucket{le="2"} 1
+h_s_bucket{le="1"} 2
+h_s_bucket{le="+Inf"} 2
+h_s_sum 1
+h_s_count 2
+`},
+		{"histogram count mismatch", `# HELP h_s h
+# TYPE h_s histogram
+h_s_bucket{le="1"} 1
+h_s_bucket{le="+Inf"} 2
+h_s_sum 1
+h_s_count 7
+`},
+		{"histogram missing sum", `# HELP h_s h
+# TYPE h_s histogram
+h_s_bucket{le="+Inf"} 1
+h_s_count 1
+`},
+		{"unterminated labels", "# HELP mlcg_x h\n# TYPE mlcg_x gauge\nmlcg_x{a=\"b\" 1\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := obs.LintMetrics(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: lint accepted an invalid document", c.name)
+		}
+	}
+}
+
+func TestLintAcceptsValidDocument(t *testing.T) {
+	doc := `# HELP mlcg_x h
+# TYPE mlcg_x gauge
+mlcg_x{inst="a b",quote="say \"hi\"",path="c:\\d"} 1.5e-06
+# HELP mlcg_y_total counts
+# TYPE mlcg_y_total counter
+mlcg_y_total 0
+`
+	stats, err := obs.LintMetrics(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("lint rejected a valid document: %v", err)
+	}
+	if len(stats.Families) != 2 || stats.Samples != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Strict validator for the Prometheus text exposition format — the test
+// and CI gate behind /metrics. It is a pure-Go line parser that enforces
+// more than the scrape grammar requires, because the repo controls the
+// producer:
+//
+//   - every sample belongs to a family announced by a # HELP line
+//     immediately followed by its # TYPE line;
+//   - metric and label names match [a-zA-Z_][a-zA-Z0-9_]* (no colons —
+//     those are reserved for recording rules);
+//   - counter families end in _total and their values are non-negative;
+//   - histogram families expose cumulative _bucket series with strictly
+//     increasing le bounds, non-decreasing counts, a terminal le="+Inf"
+//     bucket, and _sum/_count samples whose _count equals the +Inf bucket;
+//   - no duplicate series, no timestamps, no trailing garbage.
+//
+// LintStats reports what was seen so callers can also assert coverage
+// ("at least one histogram family", "this family present").
+
+// LintStats summarizes a validated exposition document.
+type LintStats struct {
+	// Families maps each family name to its declared type.
+	Families map[string]string
+	// Samples is the total number of sample lines.
+	Samples int
+}
+
+type lintSample struct {
+	name   string
+	labels []Label
+	value  float64
+	line   int
+}
+
+// LintMetrics validates an exposition document read from r. It returns
+// the collected stats and the first violation found.
+func LintMetrics(r io.Reader) (*LintStats, error) {
+	stats := &LintStats{Families: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	var (
+		cur        string // current family name
+		curType    string
+		sawSamples bool // samples seen for the current family
+		pendHelp   string
+		hist       []lintSample // histogram samples of the current family
+		seen       = map[string]bool{}
+		lineNo     int
+	)
+	closeFamily := func() error {
+		if cur == "" {
+			return nil
+		}
+		if !sawSamples {
+			return fmt.Errorf("family %q declared but has no samples", cur)
+		}
+		if curType == "histogram" {
+			if err := lintHistogram(cur, hist); err != nil {
+				return err
+			}
+		}
+		cur, curType, sawSamples, hist = "", "", false, nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			return stats, fmt.Errorf("line %d: blank line", lineNo)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if pendHelp != "" {
+				return stats, fmt.Errorf("line %d: # HELP %s not followed by its # TYPE", lineNo, pendHelp)
+			}
+			rest := line[len("# HELP "):]
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return stats, fmt.Errorf("line %d: malformed HELP line", lineNo)
+			}
+			if !ValidMetricName(name) {
+				return stats, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if _, dup := stats.Families[name]; dup {
+				return stats, fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+			}
+			if err := closeFamily(); err != nil {
+				return stats, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			pendHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return stats, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			if pendHelp == "" {
+				return stats, fmt.Errorf("line %d: # TYPE %s without a preceding # HELP", lineNo, name)
+			}
+			if name != pendHelp {
+				return stats, fmt.Errorf("line %d: # TYPE names %q but the pending # HELP names %q", lineNo, name, pendHelp)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return stats, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				return stats, fmt.Errorf("line %d: counter family %q does not end in _total", lineNo, name)
+			}
+			stats.Families[name] = typ
+			cur, curType, pendHelp = name, typ, ""
+		case strings.HasPrefix(line, "#"):
+			return stats, fmt.Errorf("line %d: comment other than HELP/TYPE: %q", lineNo, line)
+		default:
+			if pendHelp != "" {
+				return stats, fmt.Errorf("line %d: sample before # TYPE of family %q", lineNo, pendHelp)
+			}
+			s, err := parseSampleLine(line, lineNo)
+			if err != nil {
+				return stats, err
+			}
+			if cur == "" {
+				return stats, fmt.Errorf("line %d: sample %q outside any family", lineNo, s.name)
+			}
+			if !sampleBelongs(cur, curType, s.name) {
+				return stats, fmt.Errorf("line %d: sample %q does not belong to family %q (type %s)",
+					lineNo, s.name, cur, curType)
+			}
+			if curType == "counter" && s.value < 0 {
+				return stats, fmt.Errorf("line %d: counter %s has negative value %v", lineNo, s.name, s.value)
+			}
+			id := seriesID(s)
+			if seen[id] {
+				return stats, fmt.Errorf("line %d: duplicate series %s", lineNo, id)
+			}
+			seen[id] = true
+			if curType == "histogram" {
+				hist = append(hist, s)
+			}
+			sawSamples = true
+			stats.Samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	if pendHelp != "" {
+		return stats, fmt.Errorf("trailing # HELP %s without # TYPE", pendHelp)
+	}
+	if err := closeFamily(); err != nil {
+		return stats, err
+	}
+	if stats.Samples == 0 {
+		return stats, fmt.Errorf("document has no samples")
+	}
+	return stats, nil
+}
+
+// LintMetricsFile validates the exposition document at path.
+func LintMetricsFile(path string) (*LintStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LintMetrics(f)
+}
+
+// sampleBelongs reports whether a sample name is legal inside the family.
+func sampleBelongs(fam, typ, name string) bool {
+	if typ == "histogram" {
+		return name == fam+"_bucket" || name == fam+"_sum" || name == fam+"_count"
+	}
+	if typ == "summary" {
+		return name == fam || name == fam+"_sum" || name == fam+"_count"
+	}
+	return name == fam
+}
+
+// parseSampleLine parses `name{labels} value` with no timestamp.
+func parseSampleLine(line string, lineNo int) (lintSample, error) {
+	s := lintSample{line: lineNo}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return s, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+	}
+	s.name = rest[:end]
+	if !ValidMetricName(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.LastIndex(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("line %d: unterminated label set", lineNo)
+		}
+		labels, err := parseLabels(rest[1:close], lineNo)
+		if err != nil {
+			return s, err
+		}
+		s.labels = labels
+		rest = rest[close+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("line %d: missing value separator in %q", lineNo, line)
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if valStr == "" || strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("line %d: expected exactly one value, got %q (timestamps are not allowed)", lineNo, valStr)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad sample value %q: %v", lineNo, valStr, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parseLabels(body string, lineNo int) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.Index(body[i:], "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: malformed label pair in %q", lineNo, body)
+		}
+		name := body[i : i+eq]
+		if !ValidMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid label name %q", lineNo, name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("line %d: label %q value is not quoted", lineNo, name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("line %d: unterminated label value for %q", lineNo, name)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("line %d: dangling escape in label %q", lineNo, name)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("line %d: bad escape \\%c in label %q", lineNo, body[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("line %d: expected ',' between labels, got %q", lineNo, body[i:])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func seriesID(s lintSample) string {
+	ls := append([]Label(nil), s.labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	sb.WriteString(s.name)
+	for _, l := range ls {
+		sb.WriteString("|")
+		sb.WriteString(l.Name)
+		sb.WriteString("=")
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// nonLEKey groups histogram samples by their label set minus le.
+func nonLEKey(labels []Label) string {
+	ls := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != "le" {
+			ls = append(ls, l)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	for _, l := range ls {
+		sb.WriteString(l.Name)
+		sb.WriteString("=")
+		sb.WriteString(l.Value)
+		sb.WriteString("|")
+	}
+	return sb.String()
+}
+
+// lintHistogram checks one histogram family's collected samples: per
+// label set, bucket bounds strictly increase, cumulative counts never
+// decrease, the series ends at le="+Inf", and _count matches it.
+func lintHistogram(fam string, samples []lintSample) error {
+	type group struct {
+		buckets       []lintSample
+		sum, count    *lintSample
+		describedKeys string
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	get := func(k string) *group {
+		g := groups[k]
+		if g == nil {
+			g = &group{describedKeys: k}
+			groups[k] = g
+			order = append(order, k)
+		}
+		return g
+	}
+	for i := range samples {
+		s := samples[i]
+		k := nonLEKey(s.labels)
+		g := get(k)
+		switch s.name {
+		case fam + "_bucket":
+			g.buckets = append(g.buckets, s)
+		case fam + "_sum":
+			g.sum = &samples[i]
+		case fam + "_count":
+			g.count = &samples[i]
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		where := fam
+		if k != "" {
+			where = fmt.Sprintf("%s{%s}", fam, strings.TrimSuffix(k, "|"))
+		}
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("histogram %s has no _bucket samples", where)
+		}
+		prevLE := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for i, b := range g.buckets {
+			var leStr string
+			for _, l := range b.labels {
+				if l.Name == "le" {
+					leStr = l.Value
+				}
+			}
+			if leStr == "" {
+				return fmt.Errorf("line %d: histogram %s _bucket without le label", b.line, where)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: histogram %s has unparseable le %q", b.line, where, leStr)
+			}
+			if le <= prevLE {
+				return fmt.Errorf("line %d: histogram %s bucket bounds not increasing (%v after %v)", b.line, where, le, prevLE)
+			}
+			if b.value < prevCum {
+				return fmt.Errorf("line %d: histogram %s cumulative bucket count decreases (%v after %v)", b.line, where, b.value, prevCum)
+			}
+			prevLE, prevCum = le, b.value
+			if leStr == "+Inf" {
+				if i != len(g.buckets)-1 {
+					return fmt.Errorf("line %d: histogram %s has buckets after le=\"+Inf\"", b.line, where)
+				}
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("histogram %s missing terminal le=\"+Inf\" bucket", where)
+		}
+		if g.count == nil || g.sum == nil {
+			return fmt.Errorf("histogram %s missing _sum or _count", where)
+		}
+		if g.count.value != g.buckets[len(g.buckets)-1].value {
+			return fmt.Errorf("line %d: histogram %s _count (%v) != +Inf bucket (%v)",
+				g.count.line, where, g.count.value, g.buckets[len(g.buckets)-1].value)
+		}
+	}
+	return nil
+}

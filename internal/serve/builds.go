@@ -62,6 +62,13 @@ type build struct {
 	params buildParams
 	g      *graph.Graph
 
+	// Telemetry identity: the admitting request's id and enqueue time.
+	// enqueuedAt is written before the channel send and read by the worker
+	// after the receive; queueWait is worker-local after dequeue.
+	reqID      string
+	enqueuedAt time.Time
+	queueWait  time.Duration
+
 	done chan struct{}
 
 	// stateMu guards everything below: the transient status string while
@@ -126,6 +133,8 @@ func (s *Server) buildWorker() {
 				continue
 			default:
 			}
+			b.queueWait = time.Since(b.enqueuedAt)
+			s.hists.queueWait.Observe(b.queueWait)
 			s.runBuild(b)
 		}
 	}
@@ -178,12 +187,45 @@ func (s *Server) runBuild(b *build) {
 				s.stats.buildsCompleted.Add(1)
 			}
 			b.finish(h, runErr, elapsed, counters)
+			s.observeBuild(b, h, runErr, elapsed, counters)
 			return
 		}
 	}
 	// Unreachable in practice: names are validated at admission.
 	s.stats.buildsFailed.Add(1)
 	b.finish(nil, err, 0, nil)
+	s.observeBuild(b, nil, err, 0, nil)
+}
+
+// observeBuild records a finished build's telemetry: the run and per-level
+// phase histograms, the flight record, and the structured log line. Failed
+// and deadline-canceled builds log at Error level with their full counter
+// set attached — the automatic flight-record dump.
+func (s *Server) observeBuild(b *build, h *coarsen.Hierarchy, runErr error, elapsed time.Duration, counters map[string]int64) {
+	s.hists.buildRun.Observe(elapsed)
+	rec := FlightRecord{
+		ID:         b.reqID,
+		Kind:       "build",
+		Target:     b.id,
+		Start:      time.Now().Add(-elapsed - b.queueWait),
+		QueueMS:    float64(b.queueWait) / float64(time.Millisecond),
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Outcome:    outcomeFor(runErr),
+		Counters:   counters,
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	if h != nil {
+		rec.Levels = h.Levels()
+		phases := make([]levelPhase, 0, len(h.Stats))
+		for i, ls := range h.Stats {
+			phases = append(phases, levelPhase{level: i, mapTime: ls.MapTime, buildTime: ls.BuildTime})
+		}
+		s.observeLevels(phases)
+	}
+	s.flight.record(rec)
+	s.logRecord(obs.ContextWithRequestID(context.Background(), b.reqID), rec)
 }
 
 // levelInfo is one hierarchy level's stats in the status response.
@@ -281,6 +323,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b := newBuild(p, ge.g)
+	b.reqID = obs.RequestIDFromContext(r.Context())
+	b.enqueuedAt = time.Now()
 	s.builds[id] = b
 	s.mu.Unlock()
 

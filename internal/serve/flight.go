@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a fixed-size in-memory ring of completed build and query
+// records, exposed at /debug/requests. It answers "what just happened" —
+// the question histograms can't (they have no per-request identity) and
+// logs answer slowly (grep, aggregation). A reserved fraction of the
+// capacity always keeps the slowest requests seen, so a latency outlier
+// from an hour ago survives any amount of fast traffic after it; the rest
+// is strictly most-recent.
+
+// FlightRecord is one completed request as the recorder and the structured
+// log both see it.
+type FlightRecord struct {
+	ID         string           `json:"id"`
+	Kind       string           `json:"kind"` // "build" | "partition" | "cluster" | "project" | "ingest"
+	Target     string           `json:"target,omitempty"`
+	Start      time.Time        `json:"start"`
+	QueueMS    float64          `json:"queue_ms,omitempty"`
+	DurationMS float64          `json:"duration_ms"`
+	Outcome    string           `json:"outcome"` // "ok" | "error" | "canceled" | "deadline"
+	Status     int              `json:"status,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	Levels     int              `json:"levels,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// flightRecorder splits its capacity into a recent ring and a slowest set.
+// record is O(capacity/4) worst case on the slow scan — capacities are
+// small (default 256) and the scan is a flat float compare, so this stays
+// off any profile; the simplicity buys an always-correct keep-slowest
+// policy with no heap bookkeeping.
+type flightRecorder struct {
+	mu      sync.Mutex
+	recent  []FlightRecord // ring; next is the write cursor
+	next    int
+	filled  bool
+	slow    []FlightRecord // unordered; at most slowCap entries
+	slowCap int
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity < 8 {
+		capacity = 8
+	}
+	slowCap := capacity / 4
+	return &flightRecorder{
+		recent:  make([]FlightRecord, 0, capacity-slowCap),
+		slow:    make([]FlightRecord, 0, slowCap),
+		slowCap: slowCap,
+	}
+}
+
+// record stores one completed request.
+func (f *flightRecorder) record(rec FlightRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.recent) < cap(f.recent) {
+		f.recent = append(f.recent, rec)
+	} else {
+		f.recent[f.next] = rec
+		f.filled = true
+	}
+	f.next = (f.next + 1) % cap(f.recent)
+
+	// Keep-slowest: fill the reserve, then displace the current minimum
+	// only if this request was slower.
+	if len(f.slow) < f.slowCap {
+		f.slow = append(f.slow, rec)
+		return
+	}
+	min := 0
+	for i := 1; i < len(f.slow); i++ {
+		if f.slow[i].DurationMS < f.slow[min].DurationMS {
+			min = i
+		}
+	}
+	if rec.DurationMS > f.slow[min].DurationMS {
+		f.slow[min] = rec
+	}
+}
+
+// flightSnapshot is the /debug/requests response body.
+type flightSnapshot struct {
+	Recent  []FlightRecord `json:"recent"`  // newest first
+	Slowest []FlightRecord `json:"slowest"` // slowest first
+}
+
+// snapshot copies both sets out under the lock: recent newest-first,
+// slowest ordered by descending duration.
+func (f *flightRecorder) snapshot() flightSnapshot {
+	f.mu.Lock()
+	n := len(f.recent)
+	recent := make([]FlightRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		recent = append(recent, f.recent[(f.next-i+n)%n])
+	}
+	slow := make([]FlightRecord, len(f.slow))
+	copy(slow, f.slow)
+	f.mu.Unlock()
+
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurationMS > slow[j].DurationMS })
+	return flightSnapshot{Recent: recent, Slowest: slow}
+}
+
+// handleDebugRequests serves the flight-recorder contents as JSON.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.snapshot())
+}

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 )
 
 // graphInfo is the ingest/info response body.
@@ -20,8 +22,35 @@ type graphInfo struct {
 // default metis) and publishes it under its content hash. The body is
 // capped by MaxBodyBytes, and the binary decoder grows buffers in bounded
 // chunks, so a hostile upload costs at most its own wire size — a lying
-// length prefix fails fast instead of reserving GiBs.
+// length prefix fails fast instead of reserving GiBs. The wrapper records
+// the ingest latency histogram and the one structured log line every
+// request gets, on success and error paths alike.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	info, status, err := s.ingest(w, r)
+	elapsed := time.Since(t0)
+	s.hists.ingest.Observe(elapsed)
+
+	rec := FlightRecord{
+		ID:         obs.RequestIDFromContext(r.Context()),
+		Kind:       "ingest",
+		Start:      t0,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Outcome:    outcomeFor(err),
+		Status:     status,
+	}
+	if info != nil {
+		rec.Target = info.ID
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.logRecord(r.Context(), rec)
+}
+
+// ingest does the parse/hash/publish work and writes the response; the
+// returned status and error feed the telemetry wrapper.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (*graphInfo, int, error) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 
@@ -37,42 +66,47 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case "edgelist":
 		g, err = graph.ReadEdgeList(body)
 	default:
-		s.httpError(w, http.StatusBadRequest, "unknown format %q (want metis, binary, or edgelist)", format)
-		return
+		err = fmt.Errorf("unknown format %q (want metis, binary, or edgelist)", format)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, http.StatusBadRequest, err
 	}
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
-			return
+			return nil, http.StatusRequestEntityTooLarge, err
 		}
 		s.httpError(w, http.StatusBadRequest, "parse: %v", err)
-		return
+		return nil, http.StatusBadRequest, err
 	}
 	id, err := contentID(g)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "hash: %v", err)
-		return
+		return nil, http.StatusInternalServerError, err
 	}
 
 	s.mu.Lock()
 	if _, ok := s.graphs[id]; ok {
 		s.mu.Unlock()
 		s.stats.graphCacheHits.Add(1)
-		writeJSON(w, http.StatusOK, graphInfo{ID: id, N: g.NumV, M: g.M(), Cached: true})
-		return
+		info := &graphInfo{ID: id, N: g.NumV, M: g.M(), Cached: true}
+		writeJSON(w, http.StatusOK, info)
+		return info, http.StatusOK, nil
 	}
 	if len(s.graphs) >= s.cfg.MaxGraphs {
 		s.mu.Unlock()
-		s.httpError(w, http.StatusInsufficientStorage, "graph cache full (%d entries)", s.cfg.MaxGraphs)
-		return
+		err := fmt.Errorf("graph cache full (%d entries)", s.cfg.MaxGraphs)
+		s.httpError(w, http.StatusInsufficientStorage, "%v", err)
+		return nil, http.StatusInsufficientStorage, err
 	}
 	s.graphs[id] = &graphEntry{id: id, g: g, added: time.Now()}
 	s.mu.Unlock()
 
 	s.stats.graphsIngested.Add(1)
 	s.stats.ingestBytes.Add(r.ContentLength)
-	writeJSON(w, http.StatusCreated, graphInfo{ID: id, N: g.NumV, M: g.M()})
+	info := &graphInfo{ID: id, N: g.NumV, M: g.M()}
+	writeJSON(w, http.StatusCreated, info)
+	return info, http.StatusCreated, nil
 }
 
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {

@@ -1,51 +1,119 @@
 package serve
 
 import (
-	"fmt"
+	"bytes"
 	"net/http"
+	"runtime"
 	"sort"
+	"time"
+
+	"mlcg/internal/obs"
 )
 
-// handleMetrics writes a flat text exposition (name value per line,
-// Prometheus-style) of the server counters, the live queue/cache gauges,
-// and the obs kernel counters aggregated across every finished traced
-// request — so hot-path behavior (CAS retries, hash probes, workspace
-// reuse) is observable per deployment, not only per offline run.
+// handleMetrics writes a Prometheus text-exposition (0.0.4) document: HELP
+// and TYPE lines for every family, the server counters and gauges, latency
+// histograms for each request lifecycle stage (cumulative _bucket/_sum/
+// _count series), the obs kernel counters aggregated across every finished
+// traced request, and a Go runtime sample — so hot-path behavior (CAS
+// retries, hash probes, workspace reuse) and tail latency are observable
+// per deployment, not only per offline run.
+//
+// Everything that needs a lock is snapshotted first; the document is
+// assembled in a buffer and written only after every lock is released, so
+// a slow or stalled scraper can never hold obsMu (or any server lock)
+// across its read. Histogram snapshots are lock-free by construction.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Snapshot phase: everything guarded, copied out under short critical
+	// sections.
 	s.mu.RLock()
 	graphs := len(s.graphs)
 	hierarchies := len(s.builds)
 	s.mu.RUnlock()
 
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	put := func(name string, v int64) {
-		fmt.Fprintf(w, "mlcg_%s %d\n", name, v)
-	}
-	put("graphs_ingested_total", s.stats.graphsIngested.Load())
-	put("ingest_bytes_total", s.stats.ingestBytes.Load())
-	put("graph_cache_hits_total", s.stats.graphCacheHits.Load())
-	put("builds_requested_total", s.stats.buildsRequested.Load())
-	put("build_cache_hits_total", s.stats.buildCacheHits.Load())
-	put("builds_completed_total", s.stats.buildsCompleted.Load())
-	put("builds_failed_total", s.stats.buildsFailed.Load())
-	put("builds_shed_total", s.stats.buildsShed.Load())
-	put("queries_partition_total", s.stats.queriesPartition.Load())
-	put("queries_cluster_total", s.stats.queriesCluster.Load())
-	put("queries_project_total", s.stats.queriesProject.Load())
-	put("request_errors_total", s.stats.requestErrors.Load())
-	put("build_queue_depth", int64(len(s.queue)))
-	put("build_queue_capacity", int64(cap(s.queue)))
-	put("graphs_cached", int64(graphs))
-	put("hierarchies_cached", int64(hierarchies))
-
 	s.obsMu.Lock()
-	names := make([]string, 0, len(s.obsCounters))
-	for k := range s.obsCounters {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		fmt.Fprintf(w, "mlcg_ctr_%s %d\n", k, s.obsCounters[k])
+	ctr := make(map[string]int64, len(s.obsCounters))
+	ctrKeys := make([]string, 0, len(s.obsCounters))
+	for k, v := range s.obsCounters {
+		ctr[k] = v
+		ctrKeys = append(ctrKeys, k)
 	}
 	s.obsMu.Unlock()
+
+	// Assembly phase: no server locks held from here on.
+	var buf bytes.Buffer
+	p := obs.NewPromWriter(&buf)
+	counter := func(name, help string, v int64) {
+		p.Family(name, help, "counter")
+		p.Sample(nil, float64(v))
+	}
+	gauge := func(name, help string, v float64) {
+		p.Family(name, help, "gauge")
+		p.Sample(nil, v)
+	}
+
+	counter("mlcg_graphs_ingested_total", "Graphs parsed and published into the cache.", s.stats.graphsIngested.Load())
+	counter("mlcg_ingest_bytes_total", "Request body bytes of successfully ingested graphs.", s.stats.ingestBytes.Load())
+	counter("mlcg_graph_cache_hits_total", "Ingests deduplicated by content hash.", s.stats.graphCacheHits.Load())
+	counter("mlcg_builds_requested_total", "Hierarchy build requests received.", s.stats.buildsRequested.Load())
+	counter("mlcg_build_cache_hits_total", "Build requests answered by a cached or in-flight hierarchy.", s.stats.buildCacheHits.Load())
+	counter("mlcg_builds_completed_total", "Hierarchy builds finished successfully.", s.stats.buildsCompleted.Load())
+	counter("mlcg_builds_failed_total", "Hierarchy builds that ended in error, cancellation, or timeout.", s.stats.buildsFailed.Load())
+	counter("mlcg_builds_shed_total", "Build requests refused with 429 because the queue was full.", s.stats.buildsShed.Load())
+	counter("mlcg_queries_partition_total", "Partition queries received.", s.stats.queriesPartition.Load())
+	counter("mlcg_queries_cluster_total", "Cluster queries received.", s.stats.queriesCluster.Load())
+	counter("mlcg_queries_project_total", "Projection queries received.", s.stats.queriesProject.Load())
+	counter("mlcg_request_errors_total", "Requests answered with an error status.", s.stats.requestErrors.Load())
+	gauge("mlcg_build_queue_depth", "Builds waiting in the queue right now.", float64(len(s.queue)))
+	gauge("mlcg_build_queue_capacity", "Bound of the build queue.", float64(cap(s.queue)))
+	gauge("mlcg_graphs_cached", "Graphs resident in the cache.", float64(graphs))
+	gauge("mlcg_hierarchies_cached", "Hierarchies resident in the cache (any state).", float64(hierarchies))
+	gauge("mlcg_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+
+	// Lifecycle latency histograms.
+	p.Family("mlcg_ingest_seconds", "Ingest handler latency (parse, hash, publish).", "histogram")
+	p.Histogram(nil, s.hists.ingest.Snapshot())
+	p.Family("mlcg_build_queue_wait_seconds", "Time from build admission to worker dequeue.", "histogram")
+	p.Histogram(nil, s.hists.queueWait.Snapshot())
+	p.Family("mlcg_build_run_seconds", "Hierarchy build execution time (dequeue to terminal state).", "histogram")
+	p.Histogram(nil, s.hists.buildRun.Snapshot())
+	p.Family("mlcg_query_seconds", "Query handler latency by kind.", "histogram")
+	for k := 0; k < numQueryKinds; k++ {
+		p.Histogram([]obs.Label{{Name: "kind", Value: queryKindNames[k]}}, s.hists.query[k].Snapshot())
+	}
+	p.Family("mlcg_build_level_map_seconds", "Per-level mapping phase time, by level index band.", "histogram")
+	for b := 0; b < numLevelBands; b++ {
+		p.Histogram([]obs.Label{{Name: "level", Value: levelBandNames[b]}}, s.hists.levelMap[b].Snapshot())
+	}
+	p.Family("mlcg_build_level_build_seconds", "Per-level construction phase time, by level index band.", "histogram")
+	for b := 0; b < numLevelBands; b++ {
+		p.Histogram([]obs.Label{{Name: "level", Value: levelBandNames[b]}}, s.hists.levelBuild[b].Snapshot())
+	}
+
+	// Kernel counters folded from finished traces. Raw keys may contain
+	// characters Prometheus rejects (construction policies use colons), so
+	// they are sanitized — with deterministic dedup — at the export edge.
+	names := obs.SanitizeKeys(ctrKeys)
+	sort.Strings(ctrKeys)
+	for _, k := range ctrKeys {
+		counter("mlcg_ctr_"+names[k]+"_total", "Kernel counter "+k+" aggregated over finished traced requests.", ctr[k])
+	}
+
+	// Runtime sample.
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	gauge("go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("go_gomaxprocs", "GOMAXPROCS.", float64(runtime.GOMAXPROCS(0)))
+	gauge("go_memstats_heap_alloc_bytes", "Heap bytes in use.", float64(mem.HeapAlloc))
+	gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", float64(mem.HeapSys))
+	counter("go_memstats_alloc_bytes_total", "Cumulative heap bytes allocated.", int64(mem.TotalAlloc))
+	counter("go_gc_cycles_total", "Completed GC cycles.", int64(mem.NumGC))
+	p.Family("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	p.Sample(nil, float64(mem.PauseTotalNs)/1e9)
+
+	if err := p.Err(); err != nil {
+		s.httpError(w, http.StatusInternalServerError, "metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
 }

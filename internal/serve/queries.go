@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -17,15 +19,60 @@ import (
 // the shared state is read-only CSR plus mapping slices, and each request
 // carries its own obs trace so span trees never interleave.
 
+// queryObs follows one query from entry to response: it runs the solve
+// under a per-request trace and, at finish, records the kind's latency
+// histogram, the flight record, and the structured log line.
+type queryObs struct {
+	s        *Server
+	kind     int
+	target   string
+	reqID    string
+	t0       time.Time
+	counters map[string]int64
+}
+
+func (s *Server) startQuery(r *http.Request, kind int) *queryObs {
+	return &queryObs{
+		s:     s,
+		kind:  kind,
+		reqID: obs.RequestIDFromContext(r.Context()),
+		t0:    time.Now(),
+	}
+}
+
 // traced runs fn with a per-request trace attached to the handler's
-// goroutine and folds the resulting counters into /metrics.
-func (s *Server) traced(name string, fn func()) {
-	tr := obs.NewTrace(name)
+// goroutine; the counters ride the flight record and are folded into the
+// /metrics aggregate.
+func (q *queryObs) traced(fn func()) {
+	tr := obs.NewTrace(queryKindNames[q.kind] + " " + q.target)
 	detach := tr.Attach()
 	fn()
 	detach()
 	tr.Stop()
-	s.foldCounters(tr.Root.Counters())
+	q.counters = tr.Root.Counters()
+	q.s.foldCounters(q.counters)
+}
+
+// finish closes out the query's telemetry. Deferred by every handler, so
+// early error exits (bad body, unknown hierarchy) are recorded too.
+func (q *queryObs) finish(ctx context.Context, status int, err error) {
+	elapsed := time.Since(q.t0)
+	q.s.hists.query[q.kind].Observe(elapsed)
+	rec := FlightRecord{
+		ID:         q.reqID,
+		Kind:       queryKindNames[q.kind],
+		Target:     q.target,
+		Start:      q.t0,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Outcome:    outcomeFor(err),
+		Status:     status,
+		Counters:   q.counters,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	q.s.flight.record(rec)
+	q.s.logRecord(ctx, rec)
 }
 
 type partitionRequest struct {
@@ -48,23 +95,33 @@ type partitionResponse struct {
 // parts to level 0; cut and imbalance are reported on the fine graph.
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	s.stats.queriesPartition.Add(1)
+	q := s.startQuery(r, qPartition)
+	status := http.StatusOK
+	var reqErr error
+	defer func() { q.finish(r.Context(), status, reqErr) }()
+
 	var req partitionRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		status, reqErr = http.StatusBadRequest, err
+		s.httpError(w, status, "bad request body: %v", err)
 		return
 	}
+	q.target = req.Hierarchy
 	if req.K < 2 {
-		s.httpError(w, http.StatusBadRequest, "k must be >= 2 (got %d)", req.K)
+		status = http.StatusBadRequest
+		reqErr = fmt.Errorf("k must be >= 2 (got %d)", req.K)
+		s.httpError(w, status, "%v", reqErr)
 		return
 	}
 	h, _, err := s.getHierarchy(req.Hierarchy)
 	if err != nil {
-		s.httpError(w, http.StatusNotFound, "%v", err)
+		status, reqErr = http.StatusNotFound, err
+		s.httpError(w, status, "%v", err)
 		return
 	}
 	var resp partitionResponse
 	var solveErr error
-	s.traced("partition "+req.Hierarchy, func() {
+	q.traced(func() {
 		t0 := time.Now()
 		res, err := partition.KWayFM(h.Coarsest(), req.K, partition.KWayOptions{
 			Seed: req.Seed, Workers: s.cfg.Workers,
@@ -87,7 +144,8 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if solveErr != nil {
-		s.httpError(w, http.StatusUnprocessableEntity, "partition: %v", solveErr)
+		status, reqErr = http.StatusUnprocessableEntity, solveErr
+		s.httpError(w, status, "partition: %v", solveErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -111,19 +169,27 @@ type clusterResponse struct {
 // fine graph, and reports fine-graph modularity.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.stats.queriesCluster.Add(1)
+	q := s.startQuery(r, qCluster)
+	status := http.StatusOK
+	var reqErr error
+	defer func() { q.finish(r.Context(), status, reqErr) }()
+
 	var req clusterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		status, reqErr = http.StatusBadRequest, err
+		s.httpError(w, status, "bad request body: %v", err)
 		return
 	}
+	q.target = req.Hierarchy
 	h, _, err := s.getHierarchy(req.Hierarchy)
 	if err != nil {
-		s.httpError(w, http.StatusNotFound, "%v", err)
+		status, reqErr = http.StatusNotFound, err
+		s.httpError(w, status, "%v", err)
 		return
 	}
 	var resp clusterResponse
 	var solveErr error
-	s.traced("cluster "+req.Hierarchy, func() {
+	q.traced(func() {
 		t0 := time.Now()
 		res, err := cluster.Louvain(h.Coarsest(), cluster.Options{
 			Seed: req.Seed, Workers: s.cfg.Workers,
@@ -144,7 +210,8 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if solveErr != nil {
-		s.httpError(w, http.StatusUnprocessableEntity, "cluster: %v", solveErr)
+		status, reqErr = http.StatusUnprocessableEntity, solveErr
+		s.httpError(w, status, "cluster: %v", solveErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -165,23 +232,33 @@ type projectResponse struct {
 // that only need the hierarchy's mappings.
 func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 	s.stats.queriesProject.Add(1)
+	q := s.startQuery(r, qProject)
+	status := http.StatusOK
+	var reqErr error
+	defer func() { q.finish(r.Context(), status, reqErr) }()
+
 	var req projectRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		status, reqErr = http.StatusBadRequest, err
+		s.httpError(w, status, "bad request body: %v", err)
 		return
 	}
+	q.target = req.Hierarchy
 	h, _, err := s.getHierarchy(req.Hierarchy)
 	if err != nil {
-		s.httpError(w, http.StatusNotFound, "%v", err)
+		status, reqErr = http.StatusNotFound, err
+		s.httpError(w, status, "%v", err)
 		return
 	}
 	if len(req.Labels) != int(h.Coarsest().NumV) {
-		s.httpError(w, http.StatusBadRequest, "labels cover %d vertices, coarsest graph has %d",
+		status = http.StatusBadRequest
+		reqErr = fmt.Errorf("labels cover %d vertices, coarsest graph has %d",
 			len(req.Labels), h.Coarsest().NumV)
+		s.httpError(w, status, "%v", reqErr)
 		return
 	}
 	var fine []int32
-	s.traced("project "+req.Hierarchy, func() {
+	q.traced(func() {
 		fine = h.ProjectToFine(req.Labels)
 	})
 	writeJSON(w, http.StatusOK, projectResponse{Hierarchy: req.Hierarchy, Assignment: fine})

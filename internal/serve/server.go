@@ -38,6 +38,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -46,6 +47,7 @@ import (
 
 	"mlcg/internal/coarsen"
 	"mlcg/internal/graph"
+	"mlcg/internal/obs"
 )
 
 // Config tunes the server's resource envelope. The zero value is usable:
@@ -73,6 +75,14 @@ type Config struct {
 	// objects still succeed.
 	MaxGraphs      int
 	MaxHierarchies int
+	// Logger receives one structured line per completed ingest/build/query
+	// (nil = discard). Failed builds log at Error level with their flight
+	// record attached.
+	Logger *slog.Logger
+	// FlightRecorderSize bounds the /debug/requests ring (default 256).
+	// A quarter of the capacity is reserved for the slowest requests seen,
+	// which survive regardless of subsequent traffic.
+	FlightRecorderSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxHierarchies <= 0 {
 		c.MaxHierarchies = 256
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
+	}
 	return c
 }
 
@@ -113,7 +129,13 @@ type Server struct {
 	wg      sync.WaitGroup
 	wsPool  coarsen.WorkspacePool
 
-	stats serverStats
+	stats   serverStats
+	hists   *serverHists
+	flight  *flightRecorder
+	log     *slog.Logger
+	started time.Time
+	idBase  string
+	reqSeq  atomic.Uint64
 
 	// obsMu guards the server-wide obs counter aggregate folded in from
 	// finished per-request traces.
@@ -155,6 +177,11 @@ func New(cfg Config) *Server {
 		queue:       make(chan *build, cfg.QueueDepth),
 		closing:     make(chan struct{}),
 		obsCounters: map[string]int64{},
+		hists:       newServerHists(),
+		flight:      newFlightRecorder(cfg.FlightRecorderSize),
+		log:         cfg.Logger,
+		started:     time.Now(),
+		idBase:      newIDBase(),
 	}
 	s.routes()
 	for i := 0; i < cfg.BuildWorkers; i++ {
@@ -177,6 +204,7 @@ func (s *Server) routes() {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -184,8 +212,21 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler. Every request gets a request
+// id — the inbound X-Request-Id header if the caller sent one, a minted id
+// otherwise — echoed in the response header and carried on the context so
+// the structured log line, the flight record, and the obs trace for one
+// request all share it.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		s.mux.ServeHTTP(w, r.WithContext(obs.ContextWithRequestID(r.Context(), id)))
+	})
+}
 
 // Close drains the build pipeline: no new builds are admitted, queued
 // builds are failed as canceled, and in-flight builds stop at their next

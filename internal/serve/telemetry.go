@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"mlcg/internal/obs"
+)
+
+// Request telemetry: latency histograms for every lifecycle stage, request
+// ids that tie a structured log line to the obs trace that produced it, and
+// the outcome taxonomy shared by logs, the flight recorder, and /metrics.
+//
+// Histograms are obs.Histogram (lock-free, allocation-free Observe), so
+// recording sits directly on the request path: the cost is one nil check
+// plus two atomic adds, cheap enough to record every request rather than
+// sampling.
+
+// Query kinds index the per-kind query histogram and the "kind" label on
+// mlcg_query_seconds.
+const (
+	qPartition = iota
+	qCluster
+	qProject
+	numQueryKinds
+)
+
+var queryKindNames = [numQueryKinds]string{"partition", "cluster", "project"}
+
+// Level bands bucket per-level map/build phase times by level index. Level
+// 0 is the full-size fine graph and dominates; deeper levels shrink
+// geometrically, so exponentially widening bands ("0", "1", "2-3", "4-7",
+// "8+") keep the series count fixed while still separating the expensive
+// shallow levels from the cheap deep tail.
+const numLevelBands = 5
+
+var levelBandNames = [numLevelBands]string{"0", "1", "2-3", "4-7", "8+"}
+
+// levelBand maps a level index to its band.
+func levelBand(level int) int {
+	switch {
+	case level <= 0:
+		return 0
+	case level == 1:
+		return 1
+	case level <= 3:
+		return 2
+	case level <= 7:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// serverHists holds one histogram per instrumented lifecycle stage. All are
+// created enabled — the daemon is the telemetry consumer; the nil-receiver
+// disabled path exists for library users of obs, not for the server.
+type serverHists struct {
+	ingest     *obs.Histogram // full ingest handler: parse + hash + publish
+	queueWait  *obs.Histogram // build admission → worker dequeue
+	buildRun   *obs.Histogram // worker dequeue → terminal state (RunCtx)
+	query      [numQueryKinds]*obs.Histogram
+	levelMap   [numLevelBands]*obs.Histogram // per-level mapping phase, by band
+	levelBuild [numLevelBands]*obs.Histogram // per-level construction phase, by band
+}
+
+func newServerHists() *serverHists {
+	h := &serverHists{
+		ingest:    obs.NewHistogram("mlcg_ingest_seconds"),
+		queueWait: obs.NewHistogram("mlcg_build_queue_wait_seconds"),
+		buildRun:  obs.NewHistogram("mlcg_build_run_seconds"),
+	}
+	for k := 0; k < numQueryKinds; k++ {
+		h.query[k] = obs.NewHistogram("mlcg_query_seconds/" + queryKindNames[k])
+	}
+	for b := 0; b < numLevelBands; b++ {
+		h.levelMap[b] = obs.NewHistogram("mlcg_build_level_map_seconds/" + levelBandNames[b])
+		h.levelBuild[b] = obs.NewHistogram("mlcg_build_level_build_seconds/" + levelBandNames[b])
+	}
+	return h
+}
+
+// outcomeFor classifies a request error for logs, flight records, and
+// operators grepping either: ok, deadline (build timeout), canceled
+// (client or shutdown), or error.
+func outcomeFor(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled), errors.Is(err, errShuttingDown):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// newIDBase draws the per-process request-id prefix. Ids look like
+// "f3a91c-000042": the random base distinguishes server incarnations in
+// aggregated logs, the sequence orders requests within one.
+func newIDBase() string {
+	var b [3]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextRequestID mints a request id. Inbound X-Request-Id headers win over
+// minted ids (see Handler), so callers that already have a correlation id
+// keep it end to end.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.idBase, s.reqSeq.Add(1))
+}
+
+// discardHandler is the no-op slog handler behind the default logger.
+// Enabled reports false, so a server constructed without Config.Logger
+// skips attribute assembly entirely (go 1.22 has no slog.DiscardHandler).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// logCounterKeys are the kernel counters worth one log attribute each: the
+// contention and reuse signals an operator correlates with latency spikes.
+// The full counter map still rides the flight record and /metrics.
+var logCounterKeys = []string{
+	"cas_retries",
+	"hash_probes",
+	"hash_collisions",
+	"workspace_bytes_reused",
+}
+
+// logRecord emits the one structured line a finished request gets. Errors
+// log at Error level so a failed build's flight record is dumped (via the
+// attached record attributes) without any operator action; everything else
+// logs at Info.
+func (s *Server) logRecord(ctx context.Context, rec FlightRecord) {
+	level := slog.LevelInfo
+	if rec.Outcome != "ok" {
+		level = slog.LevelError
+	}
+	if !s.log.Enabled(ctx, level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("req", rec.ID),
+		slog.String("outcome", rec.Outcome),
+		slog.Int("status", rec.Status),
+		slog.Float64("ms", rec.DurationMS),
+	)
+	if rec.Target != "" {
+		attrs = append(attrs, slog.String("target", rec.Target))
+	}
+	if rec.QueueMS > 0 {
+		attrs = append(attrs, slog.Float64("queue_ms", rec.QueueMS))
+	}
+	if rec.Levels > 0 {
+		attrs = append(attrs, slog.Int("levels", rec.Levels))
+	}
+	if rec.Error != "" {
+		attrs = append(attrs, slog.String("error", rec.Error))
+	}
+	for _, k := range logCounterKeys {
+		if v, ok := rec.Counters[k]; ok && v != 0 {
+			attrs = append(attrs, slog.Int64(k, v))
+		}
+	}
+	// The automatic dump: failures carry the whole counter set, not just
+	// the headline keys, so the flight record is reconstructible from the
+	// log alone.
+	if level == slog.LevelError && len(rec.Counters) > 0 {
+		attrs = append(attrs, slog.Any("counters", rec.Counters))
+	}
+	s.log.LogAttrs(ctx, level, rec.Kind, attrs...)
+}
+
+// observeLevels records each level's map/build phase time into its band
+// histogram. Called once per finished build from the hierarchy's stats, so
+// the coarsening hot path itself carries no histogram calls.
+func (s *Server) observeLevels(stats []levelPhase) {
+	for _, ls := range stats {
+		b := levelBand(ls.level)
+		s.hists.levelMap[b].Observe(ls.mapTime)
+		s.hists.levelBuild[b].Observe(ls.buildTime)
+	}
+}
+
+// levelPhase is the slice of a coarsen.LevelStats the histograms need.
+type levelPhase struct {
+	level     int
+	mapTime   time.Duration
+	buildTime time.Duration
+}

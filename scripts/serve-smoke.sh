@@ -1,12 +1,17 @@
 #!/bin/sh
 # serve-smoke: end-to-end smoke test of mlcg-serve over a real socket.
-# Starts the daemon, ingests a small METIS graph, builds a hierarchy,
-# runs a partition query, scrapes /metrics, and checks graceful SIGTERM
-# drain. Exits non-zero on any failure. Used by `make serve-smoke` and CI.
+# Starts the daemon (JSON structured logs), ingests a small METIS graph,
+# builds a hierarchy, runs a partition query, scrapes /metrics into
+# $METRICS_OUT and lints the exposition, checks the /debug/requests
+# flight recorder, asserts one structured log line per smoke request, and
+# checks graceful SIGTERM drain. Exits non-zero on any failure. Used by
+# `make serve-smoke` and CI (which re-lints the scrape via
+# `make metrics-lint`).
 set -eu
 
 ADDR="${MLCG_SERVE_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
+METRICS_OUT="${METRICS_OUT:-/tmp/mlcg-metrics.prom}"
 TMP="$(mktemp -d)"
 PID=""
 
@@ -29,7 +34,7 @@ echo "serve-smoke: building mlcg-serve"
 go build -o "$TMP/mlcg-serve" ./cmd/mlcg-serve
 
 echo "serve-smoke: starting on $ADDR"
-"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 2>"$TMP/serve.log" &
+"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 -log-format json 2>"$TMP/serve.log" &
 PID=$!
 
 # Wait for the listener.
@@ -71,10 +76,27 @@ CUT=$(curl -sf -d "{\"hierarchy\":\"$HID\",\"k\":2}" "$BASE/v1/partition" \
     | sed -n 's/.*"cut":\([0-9-]*\).*/\1/p')
 [ -n "$CUT" ] || fail "partition returned no cut"
 
-echo "serve-smoke: metrics"
-METRICS=$(curl -sf "$BASE/metrics")
-echo "$METRICS" | grep -q "mlcg_builds_completed_total 1" || fail "metrics missing completed build"
-echo "$METRICS" | grep -q "mlcg_queries_partition_total 1" || fail "metrics missing partition query"
+echo "serve-smoke: metrics scrape -> $METRICS_OUT"
+curl -sf "$BASE/metrics" >"$METRICS_OUT" || fail "metrics scrape failed"
+grep -q "mlcg_builds_completed_total 1" "$METRICS_OUT" || fail "metrics missing completed build"
+grep -q "mlcg_queries_partition_total 1" "$METRICS_OUT" || fail "metrics missing partition query"
+grep -q '^# TYPE mlcg_build_run_seconds histogram$' "$METRICS_OUT" || fail "metrics missing build latency histogram"
+grep -q 'mlcg_query_seconds_bucket{kind="partition",le="+Inf"} 1' "$METRICS_OUT" || fail "metrics missing query histogram bucket"
+
+echo "serve-smoke: metrics exposition lint"
+go run ./cmd/mlcg-tracecheck -prom "$METRICS_OUT" || fail "metrics exposition lint failed"
+
+echo "serve-smoke: flight recorder"
+FLIGHT=$(curl -sf "$BASE/debug/requests")
+echo "$FLIGHT" | grep -q '"slowest"' || fail "/debug/requests missing slowest set"
+echo "$FLIGHT" | grep -q '"kind":"build"' || fail "/debug/requests missing the build record"
+echo "$FLIGHT" | grep -q '"outcome":"ok"' || fail "/debug/requests records not ok"
+
+echo "serve-smoke: structured request logs"
+for KIND in ingest build partition; do
+    N=$(grep -c "\"msg\":\"$KIND\"" "$TMP/serve.log" || true)
+    [ "$N" = "1" ] || fail "expected exactly 1 '$KIND' log line, got $N"
+done
 
 echo "serve-smoke: graceful drain (SIGTERM)"
 kill -TERM "$PID"
