@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke metrics-lint tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke metrics-lint fmt-spec-check tables figures trace verify clean
 
 # Prometheus exposition file checked by `make metrics-lint` — the default
 # is where scripts/serve-smoke.sh leaves its /metrics scrape.
@@ -45,19 +45,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=30s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=30s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzHierFmtLoad -fuzztime=30s -run=Fuzz ./internal/hierfmt/
 
 # The CI slice of `fuzz`: 20s per target on the structured-input targets
-# (CSR construction, hierarchy container, and the mis2fast worklist
-# kernel's D2-independence/maximality invariants).
+# (CSR construction, the legacy and versioned hierarchy containers, and
+# the mis2fast worklist kernel's D2-independence/maximality invariants).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=20s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=20s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=20s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzHierFmtLoad -fuzztime=20s -run=Fuzz ./internal/hierfmt/
 
 # End-to-end smoke of the mlcg-serve daemon over a real socket: start,
 # ingest, build, query, scrape /metrics (left at $(METRICS_FILE)), lint
 # the exposition, check /debug/requests and the structured logs, SIGTERM
-# graceful drain.
+# graceful drain — then warm-restart a second instance on the same
+# -cache-dir and prove it serves the build and query from disk.
 serve-smoke:
 	./scripts/serve-smoke.sh
 
@@ -65,6 +68,11 @@ serve-smoke:
 # pairing, name charset, histogram bucket monotonicity, duplicates).
 metrics-lint:
 	$(GO) run ./cmd/mlcg-tracecheck -prom $(METRICS_FILE)
+
+# Validate docs/FORMAT.md against the writer: the spec's worked-example
+# hexdump must match the bytes hierfmt actually produces, byte for byte.
+fmt-spec-check:
+	$(GO) test -run 'TestFormatSpec' -count=1 ./internal/hierfmt/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

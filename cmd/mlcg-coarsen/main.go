@@ -1,5 +1,6 @@
 // mlcg-coarsen runs multilevel coarsening on a graph file (or a generated
-// graph) and prints per-level statistics.
+// graph) and prints per-level statistics. It also saves, loads, inspects,
+// and migrates hierarchy containers (internal/hierfmt, docs/FORMAT.md).
 //
 // Usage:
 //
@@ -7,6 +8,9 @@
 //	mlcg-coarsen -in graph.graph -format metis -quality
 //	mlcg-coarsen -gen rmat -mapper twohop -verify
 //	mlcg-coarsen -gen rgg -out coarsest.graph -outformat metis
+//	mlcg-coarsen -gen rmat -save h.mlcg            # persist the hierarchy
+//	mlcg-coarsen -load h.mlcg -quality -verify     # inspect without rebuilding
+//	mlcg-coarsen -loadhier old.hier -save new.mlcg # migrate the legacy format
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 
 	"mlcg/internal/cli"
 	"mlcg/internal/coarsen"
+	"mlcg/internal/graph"
+	"mlcg/internal/hierfmt"
 )
 
 func main() {
@@ -38,7 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "write the coarsest graph to this file")
 	outFormat := fs.String("outformat", "edgelist", "output format: "+cli.Formats())
-	saveHier := fs.String("savehier", "", "write the whole hierarchy (graphs + mappings) to this file")
+	save := fs.String("save", "", "write the whole hierarchy (graphs, mappings, stats) as a versioned container (docs/FORMAT.md)")
+	compress := fs.Bool("compress", false, "delta-varint compress adjacency in the -save container")
+	load := fs.String("load", "", "load a hierarchy container instead of coarsening; combine with -quality/-verify/-out/-save")
+	loadHier := fs.String("loadhier", "", "load a legacy mlcg-hie hierarchy (deprecated format, read-only); use with -save to migrate")
+	saveHier := fs.String("savehier", "", "deprecated alias for -save (the legacy writer has been removed; this now writes the versioned container)")
 	quality := fs.Bool("quality", false, "print a per-level mapping quality report")
 	verify := fs.Bool("verify", false, "validate every coarse graph and (for strict schemes) aggregate connectivity")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the coarsening run to this file")
@@ -53,40 +63,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mlcg-coarsen:", err)
 		return 1
 	}
+	if *saveHier != "" {
+		fmt.Fprintln(stderr, "mlcg-coarsen: -savehier is deprecated; it now writes the versioned container (use -save)")
+		if *save == "" {
+			*save = *saveHier
+		}
+	}
+	if *load != "" && *loadHier != "" {
+		return fail(fmt.Errorf("-load and -loadhier are mutually exclusive"))
+	}
 
-	g, err := cli.LoadOrGenerate(*in, *format, *genName, *seed)
-	if err != nil {
-		return fail(err)
-	}
-	m, err := coarsen.MapperByName(*mapper)
-	if err != nil {
-		return fail(err)
-	}
-	b, err := cli.PickBuilder(*construct, *builder)
-	if err != nil {
-		return fail(err)
-	}
-	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
-	if err != nil {
-		return fail(err)
-	}
-	stopObs, err := cli.StartObs(*tracePath, *metrics, stdout)
-	if err != nil {
-		return fail(err)
-	}
-	c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
-	h, err := c.Run(g)
-	if perr := stopProfiles(); perr != nil {
-		return fail(perr)
-	}
-	if oerr := stopObs(); oerr != nil {
-		return fail(oerr)
-	}
-	if err != nil {
-		return fail(err)
-	}
-	if *tracePath != "" {
-		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+	var (
+		g   *graph.Graph
+		h   *coarsen.Hierarchy
+		err error
+	)
+	switch {
+	case *load != "":
+		// Inspect/convert mode: the container replaces the coarsening run.
+		if h, _, err = hierfmt.LoadFile(*load, hierfmt.LoadOptions{FullValidate: *verify}); err != nil {
+			return fail(err)
+		}
+		g = h.Graphs[0]
+	case *loadHier != "":
+		f, oerr := os.Open(*loadHier)
+		if oerr != nil {
+			return fail(oerr)
+		}
+		h, err = coarsen.ReadHierarchy(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		g = h.Graphs[0]
+	default:
+		g, err = cli.LoadOrGenerate(*in, *format, *genName, *seed)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := coarsen.MapperByName(*mapper)
+		if err != nil {
+			return fail(err)
+		}
+		b, err := cli.PickBuilder(*construct, *builder)
+		if err != nil {
+			return fail(err)
+		}
+		stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		stopObs, err := cli.StartObs(*tracePath, *metrics, stdout)
+		if err != nil {
+			return fail(err)
+		}
+		c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
+		h, err = c.Run(g)
+		if perr := stopProfiles(); perr != nil {
+			return fail(perr)
+		}
+		if oerr := stopObs(); oerr != nil {
+			return fail(oerr)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if *tracePath != "" {
+			fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+		}
 	}
 
 	s := g.ComputeStats()
@@ -106,9 +150,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		h.Levels(), h.CoarseningRatio(), h.TotalTime().Seconds(),
 		h.MapTime().Seconds(), h.BuildTime().Seconds())
 	if h.Stalled {
-		st := h.StallStats
-		fmt.Fprintf(stdout, "stalled: mapping produced no reduction (n=%d nc=%d) after %d passes\n",
-			st.N, st.NC, st.Passes)
+		// Loaded containers carry the stalled bit but not the stall detail.
+		if st := h.StallStats; st != nil {
+			fmt.Fprintf(stdout, "stalled: mapping produced no reduction (n=%d nc=%d) after %d passes\n",
+				st.N, st.NC, st.Passes)
+		} else {
+			fmt.Fprintln(stdout, "stalled: mapping produced no reduction on the final attempt")
+		}
 	}
 
 	if *quality {
@@ -143,19 +191,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "coarsest graph written to %s\n", *out)
 	}
-	if *saveHier != "" {
-		f, err := os.Create(*saveHier)
-		if err != nil {
+	if *save != "" {
+		opt := hierfmt.SaveOptions{CompressAdj: *compress}
+		if err := hierfmt.SaveFile(*save, h, opt); err != nil {
 			return fail(err)
 		}
-		if err := h.Write(f); err != nil {
-			f.Close()
-			return fail(err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stdout, "hierarchy written to %s\n", *saveHier)
+		fmt.Fprintf(stdout, "hierarchy written to %s\n", *save)
 	}
 	return 0
 }

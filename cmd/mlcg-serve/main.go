@@ -53,6 +53,7 @@ func run(args []string, stderr io.Writer) int {
 	maxHier := fs.Int("max-hierarchies", 256, "hierarchy cache capacity")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
 	flightSize := fs.Int("flight-recorder", 256, "completed-request ring size served at /debug/requests")
+	cacheDir := fs.String("cache-dir", "", "persist built hierarchies here and reload them after restart (empty = in-memory only)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +77,7 @@ func run(args []string, stderr io.Writer) int {
 		MaxGraphs:          *maxGraphs,
 		MaxHierarchies:     *maxHier,
 		FlightRecorderSize: *flightSize,
+		CacheDir:           *cacheDir,
 		Logger:             logger,
 	})
 	httpSrv := &http.Server{

@@ -12,6 +12,7 @@ import (
 
 	"mlcg/internal/coarsen"
 	"mlcg/internal/gen"
+	"mlcg/internal/hierfmt"
 	"mlcg/internal/partition"
 )
 
@@ -27,13 +28,14 @@ func main() {
 	}
 	fmt.Printf("hierarchy: %d levels (%.3fs)\n", h.Levels(), h.TotalTime().Seconds())
 
-	// Serialize and reload (a file in real use; a buffer here).
+	// Serialize and reload (a file in real use; a buffer here). The
+	// container format is specified in docs/FORMAT.md.
 	var buf bytes.Buffer
-	if err := h.Write(&buf); err != nil {
+	if err := hierfmt.Save(&buf, h, hierfmt.SaveOptions{CompressAdj: true}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("serialized hierarchy: %d bytes\n", buf.Len())
-	h2, err := coarsen.ReadHierarchy(&buf)
+	h2, _, err := hierfmt.Load(buf.Bytes(), hierfmt.LoadOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+func TestMeasureIOBandwidth(t *testing.T) {
+	cfg := RunConfig{Runs: 1, Scale: 1, Workers: []int{1, 2}}
+	ms, err := measureIOBandwidth(cfg)
+	if err != nil {
+		t.Fatalf("measureIOBandwidth: %v", err)
+	}
+	// Every ingest format and both container encodings must appear, with
+	// positive bandwidth and recorded byte footprints.
+	type key struct{ exp, format, name string }
+	seen := map[key]int{}
+	for _, m := range ms {
+		if m.Experiment != "ingest" && m.Experiment != "hierio" {
+			t.Errorf("unexpected experiment %q", m.Experiment)
+		}
+		if m.Name != "io_bytes" && m.Value <= 0 {
+			t.Errorf("%s/%s %s = %v, want > 0", m.Experiment, m.Builder, m.Name, m.Value)
+		}
+		seen[key{m.Experiment, m.Builder, m.Name}]++
+	}
+	for _, want := range []key{
+		{"ingest", "edgelist", "ingest_mbps"},
+		{"ingest", "edgelist-stream", "ingest_mbps"},
+		{"ingest", "binary", "ingest_mbps"},
+		{"ingest", "mlcg", "ingest_mbps"},
+		{"ingest", "mlcg", "io_bytes"},
+		{"hierio", "raw", "save_mbps"},
+		{"hierio", "raw", "load_mbps"},
+		{"hierio", "varint", "save_mbps"},
+		{"hierio", "varint", "load_mbps"},
+		{"hierio", "varint", "io_bytes"},
+	} {
+		if seen[want] == 0 {
+			t.Errorf("missing metric %v (have %v)", want, seen)
+		}
+	}
+	// The worker sweep produced one streaming row per distinct count.
+	if n := seen[key{"ingest", "edgelist-stream", "ingest_mbps"}]; n != 2 {
+		t.Errorf("edgelist-stream rows = %d, want 2 (workers 1 and 2)", n)
+	}
+}

@@ -63,6 +63,13 @@ type RunConfig struct {
 	// committed so the tax of instrumenting the serve hot path stays
 	// visible in the baseline history.
 	ObsOverhead bool `json:"obs_overhead,omitempty"`
+
+	// IOBandwidth adds the "ingest" and "hierio" experiments: MB/s of
+	// text (sequential and streaming-parallel), legacy binary, and
+	// container ingest on a fixed RMAT instance, plus hierarchy container
+	// save/load bandwidth raw and delta-varint (see iobench.go and
+	// EXPERIMENTS.md).
+	IOBandwidth bool `json:"io_bandwidth,omitempty"`
 }
 
 // FastConfig is the CI slice: three small instances (one regular, two
@@ -90,6 +97,7 @@ func FastConfig() RunConfig {
 		Serve:            true,
 		ServeConcurrency: []int{1, 8},
 		ObsOverhead:      true,
+		IOBandwidth:      true,
 	}
 }
 
@@ -111,6 +119,7 @@ func FullConfig() RunConfig {
 		ServeBuilds:      48,
 		ServeQueries:     96,
 		ObsOverhead:      true,
+		IOBandwidth:      true,
 	}
 	for _, inst := range (Options{}).Suite() {
 		cfg.Instances = append(cfg.Instances, inst.Name)
@@ -230,6 +239,14 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 	// The telemetry-tax experiment: histogram record path cost.
 	if cfg.ObsOverhead {
 		b.Metrics = append(b.Metrics, measureObsOverhead(cfg.Runs)...)
+	}
+	// The IO experiments: ingest and hierarchy persistence bandwidth.
+	if cfg.IOBandwidth {
+		ms, err := measureIOBandwidth(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.Metrics = append(b.Metrics, ms...)
 	}
 	b.Sort()
 	return b, nil

@@ -18,17 +18,18 @@ func hierBytes(f *testing.F, g *graph.Graph) []byte {
 		f.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := h.Write(&buf); err != nil {
+	if err := legacyWriteHierarchy(&buf, h); err != nil {
 		f.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
-// FuzzHierIO fuzzes the hierarchy container parser: arbitrary bytes must
-// be cleanly rejected or parsed into an internally consistent hierarchy
-// that survives a Write/ReadHierarchy round trip bit-for-bit at the graph
-// level. Seeds are real serialized hierarchies from the generator suite
-// plus truncated/corrupted mutants.
+// FuzzHierIO fuzzes the legacy hierarchy container parser (now a read-only
+// shim): arbitrary bytes must be cleanly rejected or parsed into an
+// internally consistent hierarchy that survives a round trip through the
+// test-local legacy writer bit-for-bit at the graph level. Seeds are real
+// serialized hierarchies from the generator suite plus truncated/corrupted
+// mutants.
 func FuzzHierIO(f *testing.F) {
 	grid := hierBytes(f, gen.Grid2D(30, 30))
 	f.Add(grid)
@@ -71,7 +72,7 @@ func FuzzHierIO(f *testing.F) {
 			t.Fatalf("accepted hierarchy has %d maps for %d graphs", len(h.Maps), len(h.Graphs))
 		}
 		var buf bytes.Buffer
-		if err := h.Write(&buf); err != nil {
+		if err := legacyWriteHierarchy(&buf, h); err != nil {
 			t.Fatal(err)
 		}
 		h2, err := ReadHierarchy(&buf)

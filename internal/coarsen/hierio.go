@@ -9,42 +9,26 @@ import (
 	"mlcg/internal/graph"
 )
 
-// Hierarchy serialization: a coarsening hierarchy is expensive relative to
-// the downstream solves that reuse it (several partitions with different
-// seeds, repeated spectral solves), so it can be written once and
-// reloaded (Hierarchy.Write / ReadHierarchy). The container holds every level's graph (in the graph binary
-// format) and the mapping arrays; timings are not persisted.
+// Legacy hierarchy container (magic "mlcg-hie"): length-prefixed graph
+// binaries plus the mapping arrays, with no checksums, no level stats, and
+// no alignment. Superseded by the versioned hierfmt container
+// (internal/hierfmt, spec in docs/FORMAT.md), which round-trips stats and
+// provenance, checksums every section, and supports zero-copy/mmap loads.
+//
+// This file is now a read-only shim: the writer has been removed, and
+// ReadHierarchy remains for one release so existing files can be migrated.
 
 const hierMagic = uint64(0x6d6c63672d686965) // "mlcg-hie"
 
-// Write serializes the hierarchy.
-func (h *Hierarchy) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := binary.Write(bw, binary.LittleEndian, hierMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(h.Graphs))); err != nil {
-		return err
-	}
-	for _, g := range h.Graphs {
-		if err := g.WriteBinary(bw); err != nil {
-			return err
-		}
-	}
-	for _, m := range h.Maps {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(len(m))); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, m); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadHierarchy parses a container written by Write and validates its
+// ReadHierarchy parses the legacy "mlcg-hie" container and validates its
 // internal consistency (each map's length matches its fine graph, ids stay
-// within the coarse graph).
+// within the coarse graph). Level stats were never persisted by this
+// format, so h.Stats is empty on return.
+//
+// Deprecated: the legacy format is read-only and will be removed in a
+// future release. Migrate files by loading them here and re-saving with
+// hierfmt.Save (or `mlcg-coarsen -loadhier old.hier -save new.mlcg`); new
+// code should use hierfmt.Load/hierfmt.Save directly.
 func ReadHierarchy(r io.Reader) (*Hierarchy, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic, levels uint64

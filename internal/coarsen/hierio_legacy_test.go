@@ -1,0 +1,35 @@
+package coarsen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// legacyWriteHierarchy emits the legacy "mlcg-hie" container. The
+// production writer is gone (hierfmt replaced it); this test-local copy
+// exists solely to generate inputs for the read-only shim's tests and fuzz
+// seeds until ReadHierarchy is removed.
+func legacyWriteHierarchy(w io.Writer, h *Hierarchy) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, hierMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(h.Graphs))); err != nil {
+		return err
+	}
+	for _, g := range h.Graphs {
+		if err := g.WriteBinary(bw); err != nil {
+			return err
+		}
+	}
+	for _, m := range h.Maps {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(m))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

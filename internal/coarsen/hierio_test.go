@@ -15,7 +15,7 @@ func TestHierarchyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := h.Write(&buf); err != nil {
+	if err := legacyWriteHierarchy(&buf, h); err != nil {
 		t.Fatal(err)
 	}
 	h2, err := ReadHierarchy(&buf)
@@ -57,7 +57,7 @@ func TestReadHierarchyRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := h.Write(&buf); err != nil {
+	if err := legacyWriteHierarchy(&buf, h); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()

@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"mlcg/internal/par"
+)
+
+// streamChunk is the byte granularity of one parallel parse shard. Large
+// enough that per-shard overhead (slice headers, worklist dispatch) is
+// noise, small enough that a handful of shards are in flight per batch on
+// any worker count. A variable so tests can shrink it to force the
+// multi-shard carry paths on small inputs.
+var streamChunk = 4 << 20
+
+// streamBatch is how many shards one par.For round parses. Reads stay
+// sequential (the producer walks the file linearly, which is what page
+// cache and disks want); only the CPU-bound field parsing fans out.
+const streamBatch = 16
+
+// StreamEdges parses the WriteEdgeList text format like ReadEdgeList, but
+// splits the byte stream into newline-aligned shards and parses them on p
+// workers. The result is identical to ReadEdgeList on every valid input —
+// parsing is per-line and order is restored by shard index — so callers
+// choose purely on throughput: field splitting and integer decoding
+// dominate text ingest, and both scale with cores.
+//
+// p <= 1 still uses the shard parser (single worker), which is itself
+// faster than ReadEdgeList: it avoids Scanner and strconv overhead with a
+// dedicated byte-level tokenizer.
+func StreamEdges(r io.Reader, p int) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+
+	// The header is parsed inline before sharding: it determines n and the
+	// claimed edge count, and keeping it out of the shard grammar means
+	// every shard line has the same "u v [w]" shape.
+	n, m, err := streamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+
+	type shard struct {
+		data  []byte
+		edges []Edge
+		err   error
+	}
+	// Capacity from actual content, never the claimed header (adversarial
+	// inputs control the header; see ReadEdgeList).
+	edges := make([]Edge, 0, min64(m, 1<<16))
+	shards := make([]shard, streamBatch)
+	var carry []byte // partial last line of the previous read
+	done := false
+	for !done {
+		// Producer: fill up to streamBatch newline-aligned shards.
+		filled := 0
+		for filled < streamBatch {
+			buf := make([]byte, streamChunk)
+			copy(buf, carry)
+			nr, rerr := io.ReadFull(br, buf[len(carry):])
+			buf = buf[:len(carry)+nr]
+			carry = nil
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				done = true
+			} else if rerr != nil {
+				return nil, rerr
+			}
+			if !done {
+				// Push the trailing partial line into the next shard so
+				// every shard ends on a line boundary.
+				cut := bytes.LastIndexByte(buf, '\n')
+				if cut < 0 {
+					return nil, fmt.Errorf("graph: edge line exceeds %d bytes", streamChunk)
+				}
+				carry = append(carry, buf[cut+1:]...)
+				buf = buf[:cut+1]
+			}
+			if len(buf) > 0 {
+				shards[filled] = shard{data: buf}
+				filled++
+			}
+			if done {
+				break
+			}
+		}
+		// Consumers: parse shards independently, in parallel.
+		par.For(filled, p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				shards[i].edges, shards[i].err = parseEdgeShard(shards[i].data)
+			}
+		})
+		// Ordered merge keeps the edge sequence identical to a sequential
+		// read, which FromEdges then canonicalizes either way.
+		for i := 0; i < filled; i++ {
+			if shards[i].err != nil {
+				return nil, shards[i].err
+			}
+			edges = append(edges, shards[i].edges...)
+			shards[i] = shard{}
+		}
+	}
+
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d after dedup", m, g.M())
+	}
+	return g, nil
+}
+
+// streamHeader consumes comments and blank lines until the "n m" header.
+func streamHeader(br *bufio.Reader) (int, int64, error) {
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return 0, 0, fmt.Errorf("graph: empty input")
+			}
+			return 0, 0, err
+		}
+		t := bytes.TrimSpace(line)
+		if len(t) == 0 || t[0] == '#' || t[0] == '%' {
+			if err == io.EOF {
+				return 0, 0, fmt.Errorf("graph: empty input")
+			}
+			continue
+		}
+		f0, rest := nextField(t)
+		f1, rest := nextField(rest)
+		if f2, _ := nextField(rest); f0 == nil || f1 == nil || f2 != nil {
+			return 0, 0, fmt.Errorf("graph: header must be \"n m\", got %q", t)
+		}
+		nn, ok1 := parseInt(f0)
+		mm, ok2 := parseInt(f1)
+		if !ok1 || !ok2 {
+			return 0, 0, fmt.Errorf("graph: bad header %q", t)
+		}
+		if nn < 0 || nn > MaxParseVertices || mm < 0 || mm > maxParseEdges {
+			return 0, 0, fmt.Errorf("graph: implausible header n=%d m=%d", nn, mm)
+		}
+		return int(nn), mm, nil
+	}
+}
+
+// parseEdgeShard parses a newline-aligned run of "u v [w]" lines. Comments
+// and blank lines are allowed anywhere, matching ReadEdgeList.
+func parseEdgeShard(data []byte) ([]Edge, error) {
+	// Pre-size from a line-count estimate: ~8 bytes is the floor for a
+	// "u v\n" line, so this is a safe overestimate cap that avoids regrowth
+	// without trusting anything but the shard's own length.
+	edges := make([]Edge, 0, len(data)/8)
+	for len(data) > 0 {
+		line := data
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			data = nil
+		}
+		t := bytes.TrimSpace(line)
+		if len(t) == 0 || t[0] == '#' || t[0] == '%' {
+			continue
+		}
+		f0, rest := nextField(t)
+		f1, rest := nextField(rest)
+		f2, rest := nextField(rest)
+		if f3, _ := nextField(rest); f0 == nil || f1 == nil || f3 != nil {
+			return nil, fmt.Errorf("graph: want \"u v [w]\", got %q", t)
+		}
+		u, ok1 := parseInt(f0)
+		v, ok2 := parseInt(f1)
+		w, ok3 := int64(1), true
+		if f2 != nil {
+			w, ok3 = parseInt(f2)
+		}
+		if !ok1 || !ok2 || !ok3 || u != int64(int32(u)) || v != int64(int32(v)) {
+			return nil, fmt.Errorf("graph: bad edge %q", t)
+		}
+		edges = append(edges, Edge{int32(u), int32(v), w})
+	}
+	return edges, nil
+}
+
+// nextField splits the leading whitespace-delimited token off t, returning
+// nil when none remains.
+func nextField(t []byte) (field, rest []byte) {
+	i := 0
+	for i < len(t) && (t[i] == ' ' || t[i] == '\t' || t[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(t) && t[j] != ' ' && t[j] != '\t' && t[j] != '\r' {
+		j++
+	}
+	if i == j {
+		return nil, nil
+	}
+	return t[i:j], t[j:]
+}
+
+// parseInt is a minimal signed decimal parser over a byte field — the
+// strconv string round-trip is the hottest allocation in text ingest.
+// Overflow-checks against int64 like strconv.ParseInt(s, 10, 64).
+func parseInt(f []byte) (int64, bool) {
+	neg := false
+	if len(f) > 0 && (f[0] == '-' || f[0] == '+') {
+		neg = f[0] == '-'
+		f = f[1:]
+	}
+	if len(f) == 0 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range f {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

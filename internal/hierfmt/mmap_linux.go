@@ -1,0 +1,36 @@
+//go:build linux
+
+package hierfmt
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The returned unmap func releases the
+// mapping; a nil unmap means the bytes are an ordinary heap copy (empty
+// files, which mmap rejects with EINVAL).
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("%s: empty file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("%s: file too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	return data, syscall.Munmap, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package hierfmt
+
+import "os"
+
+// mapFile on platforms without a wired-up mmap path falls back to reading
+// the whole file; the nil unmap tells Open the bytes are a private copy.
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,132 @@
+package hierfmt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"mlcg/internal/graph"
+)
+
+// specGraph is the docs/FORMAT.md §8 worked example: the path graph
+// 0—1—2 with unit edge weights.
+func specGraph() *graph.Graph {
+	return &graph.Graph{
+		NumV: 3,
+		Xadj: []int64{0, 1, 3, 4},
+		Adj:  []int32{1, 0, 2, 1},
+		Wgt:  []int64{1, 1, 1, 1},
+	}
+}
+
+// hexdump renders b in the fixed-width layout the spec's fenced block
+// uses (hexdump -C style, no repeated-line squeezing).
+func hexdump(b []byte) string {
+	var sb strings.Builder
+	for off := 0; off < len(b); off += 16 {
+		end := off + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Fprintf(&sb, "%08x  ", off)
+		for i := off; i < off+16; i++ {
+			if i == off+8 {
+				sb.WriteByte(' ')
+			}
+			if i < end {
+				fmt.Fprintf(&sb, "%02x ", b[i])
+			} else {
+				sb.WriteString("   ")
+			}
+		}
+		sb.WriteString(" |")
+		for i := off; i < end; i++ {
+			c := b[i]
+			if c < 0x20 || c > 0x7e {
+				c = '.'
+			}
+			sb.WriteByte(c)
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// specFencedHexdump extracts the ```hexdump fenced block from
+// docs/FORMAT.md.
+func specFencedHexdump(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/FORMAT.md")
+	if err != nil {
+		t.Fatalf("spec not readable: %v", err)
+	}
+	const open = "```hexdump\n"
+	doc := string(raw)
+	i := strings.Index(doc, open)
+	if i < 0 {
+		t.Fatal("docs/FORMAT.md has no ```hexdump fenced block")
+	}
+	rest := doc[i+len(open):]
+	j := strings.Index(rest, "```")
+	if j < 0 {
+		t.Fatal("docs/FORMAT.md hexdump fence is unterminated")
+	}
+	return rest[:j]
+}
+
+// TestFormatSpecWorkedExample regenerates the spec's worked example with
+// the real writer and diffs it line-by-line against the hexdump printed
+// in docs/FORMAT.md — the `make fmt-spec-check` target. Any format
+// change that shifts a byte fails here until the spec is updated too.
+func TestFormatSpecWorkedExample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, specGraph(), SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := hexdump(buf.Bytes())
+	want := specFencedHexdump(t)
+	if got == want {
+		// The spec also narrates file_size = 384; pin it so prose and
+		// fence cannot diverge on the headline number.
+		if buf.Len() != 384 {
+			t.Fatalf("worked example is %d bytes, spec prose says 384", buf.Len())
+		}
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("docs/FORMAT.md worked example diverges from the writer at line %d:\n  spec:   %q\n  writer: %q\nregenerate the fenced block from the real bytes", i+1, w, g)
+		}
+	}
+	t.Fatal("hexdump mismatch (whitespace only?)")
+}
+
+// TestFormatSpecExampleLoads confirms the worked example is not just
+// byte-stable but a valid, loadable container describing the graph the
+// spec claims.
+func TestFormatSpecExampleLoads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, specGraph(), SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	g, meta, err := LoadGraph(buf.Bytes(), LoadOptions{FullValidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Errorf("unexpected META payload %q", meta)
+	}
+	if !graph.Equal(g, specGraph()) {
+		t.Error("worked example did not round-trip the path graph")
+	}
+}

@@ -1,0 +1,65 @@
+package hierfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta-varint adjacency compression (FlagDeltaVarint). Each CSR row's
+// neighbor ids are encoded in storage order as zigzag(cur - prev) unsigned
+// varints, with prev resetting to 0 at every row boundary. Canonical
+// (sorted) adjacency makes most deltas small and positive, so typical
+// coarse graphs compress to 1–2 bytes per neighbor instead of 4; zigzag
+// keeps the encoding total (any int32 sequence round-trips byte-exactly),
+// so the format does not silently require sorted rows.
+
+// zigzag maps a signed delta onto the unsigned varint domain.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeAdjVarint compresses adj (row boundaries from xadj) into a fresh
+// byte slice.
+func encodeAdjVarint(xadj []int64, adj []int32) []byte {
+	out := make([]byte, 0, len(adj)) // sorted rows usually beat 1 B/neighbor... reserve low
+	var tmp [binary.MaxVarintLen64]byte
+	for u := 0; u+1 < len(xadj); u++ {
+		prev := int64(0)
+		for _, v := range adj[xadj[u]:xadj[u+1]] {
+			n := binary.PutUvarint(tmp[:], zigzag(int64(v)-prev))
+			out = append(out, tmp[:n]...)
+			prev = int64(v)
+		}
+	}
+	return out
+}
+
+// decodeAdjVarint expands a varint ADJC payload back into int32 adjacency.
+// The element count is fixed by xadj (already validated against the section
+// table's count), and every decoded value is bounds-checked against n, so a
+// hostile payload cannot produce out-of-range neighbor ids.
+func decodeAdjVarint(data []byte, xadj []int64, n int32) ([]int32, error) {
+	total := xadj[len(xadj)-1]
+	out := make([]int32, 0, total)
+	pos := 0
+	for u := 0; u+1 < len(xadj); u++ {
+		prev := int64(0)
+		for k := xadj[u]; k < xadj[u+1]; k++ {
+			uv, siz := binary.Uvarint(data[pos:])
+			if siz <= 0 {
+				return nil, fmt.Errorf("hierfmt: truncated or overlong varint in ADJC at byte %d", pos)
+			}
+			pos += siz
+			v := prev + unzigzag(uv)
+			if v < 0 || v >= int64(n) {
+				return nil, fmt.Errorf("hierfmt: ADJC neighbor %d out of range [0,%d)", v, n)
+			}
+			out = append(out, int32(v))
+			prev = v
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("hierfmt: ADJC has %d trailing bytes after %d elements", len(data)-pos, total)
+	}
+	return out, nil
+}

@@ -188,6 +188,11 @@ func (s *Server) runBuild(b *build) {
 			}
 			b.finish(h, runErr, elapsed, counters)
 			s.observeBuild(b, h, runErr, elapsed, counters)
+			if runErr == nil && s.cfg.CacheDir != "" {
+				// Waiters are already released; the spill only costs the
+				// build worker, never a request.
+				s.spillHierarchy(b, h)
+			}
 			return
 		}
 	}
@@ -303,15 +308,36 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	id := p.id()
+	s.mu.Lock()
+	if b, ok := s.builds[id]; ok {
+		s.mu.Unlock()
+		s.stats.buildCacheHits.Add(1)
+		s.respondBuild(w, r, b, true)
+		return
+	}
+	s.mu.Unlock()
+
+	// In-memory miss: the spill directory may still have this hierarchy
+	// from a previous incarnation. A disk hit is complete in itself — the
+	// container carries the graphs — so the fine graph need not be
+	// re-ingested for a warm restart to answer.
+	if b := s.probeDisk(id); b != nil {
+		s.stats.buildCacheHits.Add(1)
+		s.respondBuild(w, r, b, true)
+		return
+	}
+
+	// A genuine miss needs the ingested fine graph to coarsen.
 	ge, ok := s.getGraph(p.Graph)
 	if !ok {
 		s.httpError(w, http.StatusNotFound, "no graph %q (ingest it first via POST /v1/graphs)", p.Graph)
 		return
 	}
 
-	id := p.id()
 	s.mu.Lock()
 	if b, ok := s.builds[id]; ok {
+		// Raced with a concurrent admit of the same params.
 		s.mu.Unlock()
 		s.stats.buildCacheHits.Add(1)
 		s.respondBuild(w, r, b, true)
@@ -375,19 +401,27 @@ func (s *Server) handleBuildStatus(w http.ResponseWriter, r *http.Request) {
 	b, ok := s.builds[id]
 	s.mu.RUnlock()
 	if !ok {
-		s.httpError(w, http.StatusNotFound, "no hierarchy %q", id)
-		return
+		// Same warm-restart path as the query endpoints: a status poll by
+		// id is answerable from the spill directory too.
+		if b = s.probeDisk(id); b == nil {
+			s.httpError(w, http.StatusNotFound, "no hierarchy %q", id)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, b.statusBody(r.URL.Query().Get("detail") == "1"))
 }
 
-// getHierarchy resolves a finished hierarchy for the query endpoints.
+// getHierarchy resolves a finished hierarchy for the query endpoints. An
+// in-memory miss falls through to the spill directory, so the first query
+// after a warm restart loads from disk instead of demanding a rebuild.
 func (s *Server) getHierarchy(id string) (*coarsen.Hierarchy, *build, error) {
 	s.mu.RLock()
 	b, ok := s.builds[id]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("no hierarchy %q", id)
+		if b = s.probeDisk(id); b == nil {
+			return nil, nil, fmt.Errorf("no hierarchy %q", id)
+		}
 	}
 	st, h, err, _, _ := b.snapshot()
 	switch st {

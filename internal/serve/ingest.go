@@ -3,10 +3,12 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"mlcg/internal/graph"
+	"mlcg/internal/hierfmt"
 	"mlcg/internal/obs"
 )
 
@@ -64,9 +66,16 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) (*graphInfo, int
 	case "binary":
 		g, err = graph.ReadBinary(body)
 	case "edgelist":
-		g, err = graph.ReadEdgeList(body)
+		// Text ingest is CPU-bound on field parsing; shard it across the
+		// same worker budget a build gets.
+		g, err = graph.StreamEdges(body, s.cfg.Workers)
+	case "mlcg":
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			g, _, err = hierfmt.LoadGraph(data, hierfmt.LoadOptions{})
+		}
 	default:
-		err = fmt.Errorf("unknown format %q (want metis, binary, or edgelist)", format)
+		err = fmt.Errorf("unknown format %q (want metis, binary, edgelist, or mlcg)", format)
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return nil, http.StatusBadRequest, err
 	}

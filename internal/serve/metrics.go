@@ -63,6 +63,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mlcg_queries_cluster_total", "Cluster queries received.", s.stats.queriesCluster.Load())
 	counter("mlcg_queries_project_total", "Projection queries received.", s.stats.queriesProject.Load())
 	counter("mlcg_request_errors_total", "Requests answered with an error status.", s.stats.requestErrors.Load())
+	counter("mlcg_hier_spills_total", "Hierarchies persisted to the cache directory.", s.stats.hierSpills.Load())
+	counter("mlcg_hier_spill_errors_total", "Failed hierarchy spill attempts.", s.stats.hierSpillErrors.Load())
+	counter("mlcg_hier_disk_hits_total", "Cache misses resolved from the cache directory.", s.stats.hierDiskHits.Load())
+	counter("mlcg_hier_disk_misses_total", "Disk probes that found no usable container.", s.stats.hierDiskMisses.Load())
+	counter("mlcg_hier_load_errors_total", "Cache files present but rejected by the hardened reader.", s.stats.hierLoadErrors.Load())
 	gauge("mlcg_build_queue_depth", "Builds waiting in the queue right now.", float64(len(s.queue)))
 	gauge("mlcg_build_queue_capacity", "Bound of the build queue.", float64(cap(s.queue)))
 	gauge("mlcg_graphs_cached", "Graphs resident in the cache.", float64(graphs))
@@ -76,6 +81,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Histogram(nil, s.hists.queueWait.Snapshot())
 	p.Family("mlcg_build_run_seconds", "Hierarchy build execution time (dequeue to terminal state).", "histogram")
 	p.Histogram(nil, s.hists.buildRun.Snapshot())
+	p.Family("mlcg_hier_spill_seconds", "Hierarchy persistence time (serialize, fsync, rename).", "histogram")
+	p.Histogram(nil, s.hists.hierSpill.Snapshot())
+	p.Family("mlcg_hier_load_seconds", "Hierarchy load time from the cache directory (read, verify, decode).", "histogram")
+	p.Histogram(nil, s.hists.hierLoad.Snapshot())
 	p.Family("mlcg_query_seconds", "Query handler latency by kind.", "histogram")
 	for k := 0; k < numQueryKinds; k++ {
 		p.Histogram([]obs.Label{{Name: "kind", Value: queryKindNames[k]}}, s.hists.query[k].Snapshot())

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"log/slog"
+	"path/filepath"
+	"time"
+
+	"mlcg/internal/coarsen"
+	"mlcg/internal/hierfmt"
+)
+
+// Hierarchy persistence: when Config.CacheDir is set, every successfully
+// built hierarchy is spilled to <dir>/<id>.mlcg as a hierfmt container
+// whose META section carries the normalized build parameters. A restarted
+// server probes that directory lazily — on the first build request or query
+// that misses the in-memory cache — so a warm restart serves from disk
+// instead of recoarsening, without any startup scan of the directory.
+//
+// The files are content-addressed by the same id the in-memory cache uses
+// (graph content hash + normalized parameters), so a stale directory can
+// never serve the wrong hierarchy: a file either matches its name's
+// parameters or is rejected by the probe's integrity check.
+
+// cachePath places one hierarchy's spill file.
+func (s *Server) cachePath(id string) string {
+	return filepath.Join(s.cfg.CacheDir, id+hierfmt.FileExt)
+}
+
+// spillHierarchy persists one finished build. Runs on the build worker —
+// off every request path — after waiters have already been released, so
+// disk bandwidth costs the requester nothing. Spill failures are counted
+// and logged but never fail the build: the hierarchy is live in memory
+// either way.
+func (s *Server) spillHierarchy(b *build, h *coarsen.Hierarchy) {
+	meta, err := json.Marshal(b.params)
+	if err == nil {
+		t0 := time.Now()
+		err = hierfmt.SaveFile(s.cachePath(b.id), h, hierfmt.SaveOptions{Meta: meta})
+		s.hists.hierSpill.Observe(time.Since(t0))
+	}
+	if err != nil {
+		s.stats.hierSpillErrors.Add(1)
+		s.log.LogAttrs(context.Background(), slog.LevelError, "spill",
+			slog.String("target", b.id), slog.String("error", err.Error()))
+		return
+	}
+	s.stats.hierSpills.Add(1)
+}
+
+// probeDisk resolves an in-memory cache miss against the spill directory.
+// Returns a terminal "done" build on a hit (already published into the
+// in-memory cache, capacity permitting), nil on a miss. The container's
+// META parameters must hash back to the requested id — that check makes a
+// renamed or tampered file a load error, not a wrong answer. Note the graph
+// itself need not be ingested: the container is self-contained, which is
+// what lets a restarted server answer queries before any client re-uploads.
+func (s *Server) probeDisk(id string) *build {
+	if s.cfg.CacheDir == "" {
+		return nil
+	}
+	path := s.cachePath(id)
+	t0 := time.Now()
+	h, meta, err := hierfmt.LoadFile(path, hierfmt.LoadOptions{})
+	var p buildParams
+	if err == nil {
+		if jerr := json.Unmarshal(meta, &p); jerr != nil {
+			err = jerr
+		} else if p.id() != id {
+			err = errors.New("container parameters do not hash to the file's id")
+		}
+	}
+	if err != nil {
+		s.stats.hierDiskMisses.Add(1)
+		if !errors.Is(err, fs.ErrNotExist) {
+			// Present but unreadable: corruption or tampering, worth a line.
+			s.stats.hierLoadErrors.Add(1)
+			s.log.LogAttrs(context.Background(), slog.LevelError, "diskload",
+				slog.String("target", id), slog.String("path", path), slog.String("error", err.Error()))
+		}
+		return nil
+	}
+	s.hists.hierLoad.Observe(time.Since(t0))
+	s.stats.hierDiskHits.Add(1)
+
+	b := newBuild(p, nil)
+	b.finish(h, nil, 0, nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prior, ok := s.builds[id]; ok {
+		// A concurrent request beat us to it (disk or build); theirs wins.
+		return prior
+	}
+	if len(s.builds) < s.cfg.MaxHierarchies {
+		s.builds[id] = b
+	}
+	return b
+}

@@ -41,6 +41,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,12 @@ type Config struct {
 	// A quarter of the capacity is reserved for the slowest requests seen,
 	// which survive regardless of subsequent traffic.
 	FlightRecorderSize int
+	// CacheDir, when non-empty, persists every successfully built hierarchy
+	// to <CacheDir>/<id>.mlcg (hierfmt container, atomic rename) and probes
+	// that directory on cache misses, so a restarted server serves warm
+	// hierarchies from disk instead of recoarsening. Empty disables
+	// persistence (the default: a purely in-memory server).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,10 +131,11 @@ type Server struct {
 	graphs map[string]*graphEntry
 	builds map[string]*build
 
-	queue   chan *build
-	closing chan struct{}
-	wg      sync.WaitGroup
-	wsPool  coarsen.WorkspacePool
+	queue     chan *build
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	wsPool    coarsen.WorkspacePool
 
 	stats   serverStats
 	hists   *serverHists
@@ -158,6 +166,13 @@ type serverStats struct {
 	queriesCluster   atomic.Int64
 	queriesProject   atomic.Int64
 	requestErrors    atomic.Int64
+
+	// Hierarchy persistence (Config.CacheDir).
+	hierSpills      atomic.Int64 // hierarchies written to the cache dir
+	hierSpillErrors atomic.Int64 // failed spill attempts
+	hierDiskHits    atomic.Int64 // cache misses resolved from disk
+	hierDiskMisses  atomic.Int64 // disk probes that found nothing usable
+	hierLoadErrors  atomic.Int64 // present-but-unreadable cache files
 }
 
 type graphEntry struct {
@@ -166,9 +181,19 @@ type graphEntry struct {
 	added time.Time
 }
 
-// New constructs a Server and starts its build workers.
+// New constructs a Server and starts its build workers. A configured
+// CacheDir is created eagerly so spills can't race the first build; a dir
+// that cannot be created disables persistence with a logged error rather
+// than failing startup (the server is fully functional without it).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			cfg.Logger.Error("cache dir unusable, persistence disabled",
+				"dir", cfg.CacheDir, "error", err)
+			cfg.CacheDir = ""
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		mux:         http.NewServeMux(),
@@ -230,22 +255,24 @@ func (s *Server) Handler() http.Handler {
 
 // Close drains the build pipeline: no new builds are admitted, queued
 // builds are failed as canceled, and in-flight builds stop at their next
-// level boundary. Call once, from the shutdown path (normally after
-// http.Server.Shutdown has stopped new requests; a racing enqueue is
-// still safe — the queue channel is never closed, and stragglers are
-// failed by the final drain).
+// level boundary. Idempotent — extra calls are no-ops. Call from the
+// shutdown path (normally after http.Server.Shutdown has stopped new
+// requests; a racing enqueue is still safe — the queue channel is never
+// closed, and stragglers are failed by the final drain).
 func (s *Server) Close() {
-	close(s.closing)
-	s.wg.Wait()
-	for {
-		select {
-		case b := <-s.queue:
-			b.finish(nil, errShuttingDown, 0, nil)
-			s.stats.buildsFailed.Add(1)
-		default:
-			return
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		s.wg.Wait()
+		for {
+			select {
+			case b := <-s.queue:
+				b.finish(nil, errShuttingDown, 0, nil)
+				s.stats.buildsFailed.Add(1)
+			default:
+				return
+			}
 		}
-	}
+	})
 }
 
 // contentID hashes a graph's canonical CSR serialization; equal graphs get

@@ -67,6 +67,8 @@ type serverHists struct {
 	query      [numQueryKinds]*obs.Histogram
 	levelMap   [numLevelBands]*obs.Histogram // per-level mapping phase, by band
 	levelBuild [numLevelBands]*obs.Histogram // per-level construction phase, by band
+	hierSpill  *obs.Histogram                // hierarchy spill to the cache dir
+	hierLoad   *obs.Histogram                // hierarchy load from the cache dir
 }
 
 func newServerHists() *serverHists {
@@ -74,6 +76,8 @@ func newServerHists() *serverHists {
 		ingest:    obs.NewHistogram("mlcg_ingest_seconds"),
 		queueWait: obs.NewHistogram("mlcg_build_queue_wait_seconds"),
 		buildRun:  obs.NewHistogram("mlcg_build_run_seconds"),
+		hierSpill: obs.NewHistogram("mlcg_hier_spill_seconds"),
+		hierLoad:  obs.NewHistogram("mlcg_hier_load_seconds"),
 	}
 	for k := 0; k < numQueryKinds; k++ {
 		h.query[k] = obs.NewHistogram("mlcg_query_seconds/" + queryKindNames[k])

@@ -4,7 +4,11 @@
 # builds a hierarchy, runs a partition query, scrapes /metrics into
 # $METRICS_OUT and lints the exposition, checks the /debug/requests
 # flight recorder, asserts one structured log line per smoke request, and
-# checks graceful SIGTERM drain. Exits non-zero on any failure. Used by
+# checks graceful SIGTERM drain. Then the warm-restart leg: a second
+# instance on the same -cache-dir must answer the same build and query
+# from the spilled .mlcg container — no re-ingest, no recoarsening —
+# which the /metrics counters prove (mlcg_hier_disk_hits_total 1,
+# mlcg_builds_completed_total 0). Exits non-zero on any failure. Used by
 # `make serve-smoke` and CI (which re-lints the scrape via
 # `make metrics-lint`).
 set -eu
@@ -25,16 +29,21 @@ trap cleanup EXIT
 
 fail() {
     echo "serve-smoke: FAIL: $1" >&2
-    echo "--- server log ---" >&2
-    cat "$TMP/serve.log" >&2 || true
+    for LOG in "$TMP"/serve*.log; do
+        [ -f "$LOG" ] || continue
+        echo "--- $LOG ---" >&2
+        cat "$LOG" >&2 || true
+    done
     exit 1
 }
 
 echo "serve-smoke: building mlcg-serve"
 go build -o "$TMP/mlcg-serve" ./cmd/mlcg-serve
 
-echo "serve-smoke: starting on $ADDR"
-"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 -log-format json 2>"$TMP/serve.log" &
+CACHE="$TMP/cache"
+
+echo "serve-smoke: starting on $ADDR (cache-dir $CACHE)"
+"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 -log-format json -cache-dir "$CACHE" 2>"$TMP/serve.log" &
 PID=$!
 
 # Wait for the listener.
@@ -76,9 +85,20 @@ CUT=$(curl -sf -d "{\"hierarchy\":\"$HID\",\"k\":2}" "$BASE/v1/partition" \
     | sed -n 's/.*"cut":\([0-9-]*\).*/\1/p')
 [ -n "$CUT" ] || fail "partition returned no cut"
 
+# The spill runs on the build worker after waiters are released, so it
+# can trail the ?wait=1 response by a moment; wait for the file.
+echo "serve-smoke: waiting for hierarchy spill $CACHE/$HID.mlcg"
+i=0
+until [ -f "$CACHE/$HID.mlcg" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "hierarchy was not spilled to $CACHE within 5s"
+    sleep 0.1
+done
+
 echo "serve-smoke: metrics scrape -> $METRICS_OUT"
 curl -sf "$BASE/metrics" >"$METRICS_OUT" || fail "metrics scrape failed"
 grep -q "mlcg_builds_completed_total 1" "$METRICS_OUT" || fail "metrics missing completed build"
+grep -q "mlcg_hier_spills_total 1" "$METRICS_OUT" || fail "metrics missing hierarchy spill"
 grep -q "mlcg_queries_partition_total 1" "$METRICS_OUT" || fail "metrics missing partition query"
 grep -q '^# TYPE mlcg_build_run_seconds histogram$' "$METRICS_OUT" || fail "metrics missing build latency histogram"
 grep -q 'mlcg_query_seconds_bucket{kind="partition",le="+Inf"} 1' "$METRICS_OUT" || fail "metrics missing query histogram bucket"
@@ -110,4 +130,50 @@ wait "$PID" 2>/dev/null || fail "server exited non-zero on SIGTERM drain"
 grep -q "drained cleanly" "$TMP/serve.log" || fail "no clean-drain log line"
 PID=""
 
-echo "serve-smoke: OK (graph=$GID hierarchy=$HID cut=$CUT)"
+# Warm-restart leg: a fresh instance on the same cache directory must
+# answer the same build and query from the spilled container — without
+# the graph ever being re-ingested and without running a single build.
+echo "serve-smoke: warm restart on $CACHE"
+"$TMP/mlcg-serve" -addr "$ADDR" -build-workers 2 -log-format json -cache-dir "$CACHE" 2>"$TMP/serve2.log" &
+PID=$!
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "restarted server did not come up"
+    kill -0 "$PID" 2>/dev/null || fail "restarted server exited early"
+    sleep 0.1
+done
+
+echo "serve-smoke: re-issuing build (no re-ingest)"
+HID2=$(curl -sf -d "{\"graph\":\"$GID\",\"cutoff\":2}" "$BASE/v1/hierarchies?wait=1" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ "$HID2" = "$HID" ] || fail "warm restart returned hierarchy '$HID2', want $HID"
+
+STATUS=$(curl -sf "$BASE/v1/hierarchies/$HID" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+[ "$STATUS" = "done" ] || fail "warm-restarted hierarchy status is '$STATUS', want done"
+
+echo "serve-smoke: partition query against the disk-loaded hierarchy"
+CUT2=$(curl -sf -d "{\"hierarchy\":\"$HID\",\"k\":2}" "$BASE/v1/partition" \
+    | sed -n 's/.*"cut":\([0-9-]*\).*/\1/p')
+[ "$CUT2" = "$CUT" ] || fail "warm-restart partition cut '$CUT2' differs from first run's '$CUT'"
+
+echo "serve-smoke: warm-restart metrics"
+curl -sf "$BASE/metrics" >"$TMP/metrics2.prom" || fail "warm-restart metrics scrape failed"
+grep -q "mlcg_hier_disk_hits_total 1" "$TMP/metrics2.prom" || fail "warm restart did not load from disk"
+grep -q "mlcg_builds_completed_total 0" "$TMP/metrics2.prom" || fail "warm restart recoarsened instead of loading"
+grep -q "mlcg_hier_load_errors_total 0" "$TMP/metrics2.prom" || fail "warm restart hit load errors"
+
+echo "serve-smoke: graceful drain of the restarted server (SIGTERM)"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "restarted server did not drain within 10s of SIGTERM"
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || fail "restarted server exited non-zero on SIGTERM drain"
+grep -q "drained cleanly" "$TMP/serve2.log" || fail "no clean-drain log line after warm restart"
+PID=""
+
+echo "serve-smoke: OK (graph=$GID hierarchy=$HID cut=$CUT warm-restart=hit)"
