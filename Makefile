@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke metrics-lint fmt-spec-check tables figures trace verify clean
+.PHONY: all build test race test-determinism lint fuzz fuzz-smoke bench bench-construct bench-mis2 bench-json bench-check bench-baseline serve-smoke embed-smoke metrics-lint fmt-spec-check tables figures trace verify clean
 
 # Prometheus exposition file checked by `make metrics-lint` — the default
 # is where scripts/serve-smoke.sh leaves its /metrics scrape.
@@ -21,11 +21,16 @@ race:
 	$(GO) test -race ./...
 
 # Cross-worker determinism gate: the canonical-ID guarantee (byte-identical
-# mappings, coarse graphs, and hierarchies at p = 1, 2, 4, 8) checked with
-# enough OS threads that the p = 8 runs actually interleave, plus the
-# coarse-graph invariant harness (every mapper × builder × worker count).
+# mappings, coarse graphs, hierarchies, and embeddings at p = 1, 2, 4, 8)
+# checked with enough OS threads that the p = 8 runs actually interleave,
+# plus the coarse-graph invariant harness (every mapper × builder × worker
+# count) and the SGD trainer's schedule-independence sweep. The embed sweep
+# additionally runs under -race (it is cheap enough); the full coarsen
+# suite keeps its race coverage in `make race` where the per-package
+# timeout budget is not shared with a p=8 interleaving sweep.
 test-determinism:
 	GOMAXPROCS=8 $(GO) test -run 'Determinism|Deterministic|Canonicalize|CoarseInvariants|WorkspaceReuse' ./internal/par/... ./internal/coarsen/...
+	GOMAXPROCS=8 $(GO) test -race -run 'Determinism|SeedSensitivity|WorkspaceReuse' ./internal/embed/...
 
 # Static analysis: vet always; staticcheck when it is installed (the
 # pinned dev container has no network to fetch it, CI installs it).
@@ -45,15 +50,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=30s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=30s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=30s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzProjectToFine -fuzztime=30s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzHierFmtLoad -fuzztime=30s -run=Fuzz ./internal/hierfmt/
 
 # The CI slice of `fuzz`: 20s per target on the structured-input targets
-# (CSR construction, the legacy and versioned hierarchy containers, and
-# the mis2fast worklist kernel's D2-independence/maximality invariants).
+# (CSR construction, the legacy and versioned hierarchy containers, the
+# mis2fast worklist kernel's D2-independence/maximality invariants, and
+# hierarchy projection over hostile level maps).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCSRFromEdges -fuzztime=20s -run=Fuzz ./internal/graph/
 	$(GO) test -fuzz=FuzzHierIO -fuzztime=20s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzMIS2Fast -fuzztime=20s -run=Fuzz ./internal/coarsen/
+	$(GO) test -fuzz=FuzzProjectToFine -fuzztime=20s -run=Fuzz ./internal/coarsen/
 	$(GO) test -fuzz=FuzzHierFmtLoad -fuzztime=20s -run=Fuzz ./internal/hierfmt/
 
 # End-to-end smoke of the mlcg-serve daemon over a real socket: start,
@@ -63,6 +71,15 @@ fuzz-smoke:
 # -cache-dir and prove it serves the build and query from disk.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# End-to-end smoke of the embedding pipeline: train through the coarsening
+# hierarchy on a generated instance, hold out edges and report the
+# link-prediction AUC, write the .mlcgemb sidecar — then reload it into a
+# fresh process and prove the saved bytes evaluate identically.
+embed-smoke:
+	$(GO) run ./cmd/mlcg-embed -gen rgg -dim 16 -epochs 8 -negatives 3 \
+		-eval -out /tmp/mlcg-embed.mlcgemb
+	$(GO) run ./cmd/mlcg-embed -gen rgg -load /tmp/mlcg-embed.mlcgemb -eval
 
 # Strict Prometheus text-exposition lint of a /metrics scrape (HELP/TYPE
 # pairing, name charset, histogram bucket monotonicity, duplicates).

@@ -97,7 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		g = h.Graphs[0]
 	default:
-		g, err = cli.LoadOrGenerate(*in, *format, *genName, *seed)
+		seeds := cli.DeriveSeeds(*seed)
+		g, err = cli.LoadOrGenerate(*in, *format, *genName, seeds.Graph)
 		if err != nil {
 			return fail(err)
 		}
@@ -117,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: *seed, Workers: *workers}
+		c := &coarsen.Coarsener{Mapper: m, Builder: b, Cutoff: *cutoff, Seed: seeds.Coarsen, Workers: *workers}
 		h, err = c.Run(g)
 		if perr := stopProfiles(); perr != nil {
 			return fail(perr)

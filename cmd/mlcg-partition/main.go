@@ -68,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	g, err := cli.LoadOrGenerate(*in, *format, *genName, *seed)
+	seeds := cli.DeriveSeeds(*seed)
+	g, err := cli.LoadOrGenerate(*in, *format, *genName, seeds.Graph)
 	if err != nil {
 		return fail(err)
 	}
@@ -80,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		return fail(err)
 	}
-	c := coarsen.Coarsener{Mapper: m, Builder: b, Seed: *seed, Workers: *workers}
+	c := coarsen.Coarsener{Mapper: m, Builder: b, Seed: seeds.Coarsen, Workers: *workers}
 
 	s := g.ComputeStats()
 	fmt.Fprintf(stdout, "input: n=%d m=%d skew=%.1f\n", s.N, s.M, s.Skew)
@@ -90,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		switch *order {
 		case "nd":
 			perm, err = partition.NestedDissection(g, partition.NDOptions{
-				Mapper: m, Builder: b, Seed: *seed, Workers: *workers,
+				Mapper: m, Builder: b, Seed: seeds.Partition, Workers: *workers,
 			})
 		case "rcm":
 			perm, err = g.RCM()
@@ -113,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	if *k > 2 {
 		opt := partition.KWayOptions{
-			Mapper: m, Builder: b, Seed: *seed, Workers: *workers,
+			Mapper: m, Builder: b, Seed: seeds.Partition, Workers: *workers,
 			PairwiseRounds: *pairwise,
 		}
 		var kr *partition.KWayResult
@@ -143,13 +144,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	var res *partition.Result
 	switch *method {
 	case "fm":
-		fb := &partition.FMBisector{Coarsener: c, Seed: *seed, ParallelRefine: *parallelRefine}
+		fb := &partition.FMBisector{Coarsener: c, Seed: seeds.Partition, ParallelRefine: *parallelRefine}
 		res, err = fb.Bisect(g)
 	case "spectral":
 		sb := &partition.SpectralBisector{
 			Coarsener: c,
 			Fiedler:   partition.FiedlerOptions{Workers: *workers},
-			Seed:      *seed,
+			Seed:      seeds.Partition,
 		}
 		res, err = sb.Bisect(g)
 	default:

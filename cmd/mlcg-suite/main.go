@@ -68,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	code := export(*dir, *format, *scale, *seed, *workers, mapper, builder, *stallcheck, *asJSON, stdout, fail)
+	code := export(*dir, *format, *scale, cli.DeriveSeeds(*seed), *workers, mapper, builder, *stallcheck, *asJSON, stdout, fail)
 	if perr := stopProfiles(); perr != nil && code == 0 {
 		return fail(perr)
 	}
@@ -95,7 +95,7 @@ type suiteRow struct {
 	Stalled bool    `json:"stalled,omitempty"`
 }
 
-func export(dir, format string, scale int, seed uint64, workers int, mapper coarsen.Mapper, builder coarsen.Builder, stallcheck, asJSON bool, stdout io.Writer, fail func(error) int) int {
+func export(dir, format string, scale int, seeds cli.Seeds, workers int, mapper coarsen.Mapper, builder coarsen.Builder, stallcheck, asJSON bool, stdout io.Writer, fail func(error) int) int {
 	ext := map[string]string{"metis": ".graph", "edgelist": ".txt", "binary": ".bin"}[format]
 	if ext == "" {
 		return fail(fmt.Errorf("unknown format %q (want %s)", format, cli.Formats()))
@@ -104,7 +104,7 @@ func export(dir, format string, scale int, seed uint64, workers int, mapper coar
 		return fail(err)
 	}
 
-	suite := gen.Suite(gen.SuiteOptions{Scale: scale, Seed: seed})
+	suite := gen.Suite(gen.SuiteOptions{Scale: scale, Seed: seeds.Graph})
 	coaHdr := ""
 	if stallcheck {
 		coaHdr = fmt.Sprintf(" %-18s", "coarsen")
@@ -128,7 +128,7 @@ func export(dir, format string, scale int, seed uint64, workers int, mapper coar
 		if stallcheck {
 			// A stalled hierarchy is not an error — the point of the column
 			// is to make stalls visible instead of silently dropping them.
-			c := &coarsen.Coarsener{Mapper: mapper, Builder: builder, Seed: seed, Workers: workers}
+			c := &coarsen.Coarsener{Mapper: mapper, Builder: builder, Seed: seeds.Coarsen, Workers: workers}
 			h, err := c.Run(inst.Graph)
 			if err != nil {
 				return fail(fmt.Errorf("%s: %w", inst.Name, err))

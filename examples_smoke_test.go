@@ -61,3 +61,55 @@ func TestExamplesRun(t *testing.T) {
 		t.Errorf("only %d example directories found", found)
 	}
 }
+
+// TestCLISmoke runs each user-facing command once with a minimal flag set
+// and checks for its signature output line — the "does the binary still
+// start, parse flags, and do its job" gate that unit tests of run() cannot
+// give because they never link the final main package. Gated behind -short
+// like the examples; each case compiles a binary.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke runs are slow for -short")
+	}
+	cases := []struct {
+		cmd  string
+		args []string
+		want string
+	}{
+		{"mlcg-coarsen", []string{"-gen", "grid2d", "-quality"}, "mapping quality"},
+		{"mlcg-partition", []string{"-gen", "trimesh", "-method", "fm"}, "edge cut:"},
+		{"mlcg-embed", []string{"-gen", "rgg", "-dim", "16", "-epochs", "4", "-negatives", "3", "-eval"}, "link-prediction AUC:"},
+		{"mlcg-suite", []string{"-scale", "1", "-format", "edgelist", "-dir", "SUITE_DIR"}, "Graph"},
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.cmd, func(t *testing.T) {
+			dir := t.TempDir()
+			bin := filepath.Join(dir, tc.cmd+".bin")
+			build := exec.Command("go", "build", "-o", bin, "./cmd/"+tc.cmd)
+			build.Dir = wd
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				if a == "SUITE_DIR" {
+					a = filepath.Join(dir, "suite")
+				}
+				args[i] = a
+			}
+			cmd := exec.Command(bin, args...)
+			cmd.Dir = dir
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

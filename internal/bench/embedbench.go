@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"mlcg/internal/coarsen"
+	"mlcg/internal/embed"
+	"mlcg/internal/gen"
+)
+
+// The embed experiment records the multilevel embedding pipeline's
+// training throughput — positive SGD steps per second, the GOSH paper's
+// headline rate — on a fixed RGG instance at each configured worker
+// count, plus the link-prediction AUC of the trained embedding. Steps/sec
+// gates like every kernel row; AUC is informational (it is a quality
+// number with its own dedicated test gate in internal/embed, and small
+// budget changes move it more than a rate tolerance should absorb).
+//
+// The hierarchy is built once and shared by every repetition: hierarchy
+// construction cost is the coarsening experiments' number, and
+// Result.TrainTime already excludes it. Because training is deterministic
+// in (options, seed) regardless of worker count, every row trains the
+// same embedding — the rows differ only in wall time.
+
+// embedGraph builds the fixed measurement instance: a random geometric
+// graph, the regular-degree regime embedding cares about (skew stresses
+// the coarsening rows instead). Scale bumps it for -scale runs.
+func embedGraph(scale int) (inst string, n int) {
+	n = 4000
+	if scale > 1 {
+		n = 8000
+	}
+	return fmt.Sprintf("rgg%d", n), n
+}
+
+// measureEmbed produces the "embed" metric rows.
+func measureEmbed(cfg RunConfig) ([]Metric, error) {
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	ws := cfg.EmbedWorkers
+	if len(ws) == 0 {
+		ws = []int{1}
+	}
+	sd := (Options{Seed: cfg.Seed}).seed()
+	inst, n := embedGraph(cfg.Scale)
+	g := gen.RGG(n, 0, sd)
+
+	// Train on the split's training graph so the AUC row measures held-out
+	// edges, exactly what mlcg-embed -eval reports.
+	sp, err := embed.SplitForEval(g, 0.1, sd+1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: embed split: %w", err)
+	}
+	mapper, err := coarsen.MapperByName("gosh")
+	if err != nil {
+		return nil, err
+	}
+	c := &coarsen.Coarsener{Mapper: mapper, Builder: coarsen.BuildSort{}, Cutoff: 50, Seed: sd}
+	h, err := c.Run(sp.Train)
+	if err != nil {
+		return nil, fmt.Errorf("bench: embed coarsen: %w", err)
+	}
+
+	var out []Metric
+	for _, w := range ws {
+		opt := embed.Options{Dim: 32, Epochs: 16, Negatives: 5, Seed: sd, Workers: w}
+		// Same hygiene as measureCombo: level the heap and pay first-touch
+		// faults in an untimed warmup repetition.
+		runtime.GC()
+		if _, err := embed.TrainHierarchy(h, opt); err != nil {
+			return nil, fmt.Errorf("bench: embed warmup w=%d: %w", w, err)
+		}
+		rates := make([]float64, runs)
+		var last *embed.Result
+		for i := range rates {
+			res, err := embed.TrainHierarchy(h, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: embed train w=%d: %w", w, err)
+			}
+			rates[i] = res.StepsPerSec()
+			last = res
+		}
+		raw := append([]float64(nil), rates...)
+		sort.Float64s(rates)
+		mk := func(name, unit string, dir Direction, v float64, samples []float64) Metric {
+			return Metric{
+				Experiment: "embed", Instance: inst, Mapper: "gosh", Builder: "sort",
+				Workers: w, Name: name, Unit: unit, Direction: dir, Value: v, Samples: samples,
+			}
+		}
+		out = append(out,
+			mk("steps_per_sec", "steps/s", HigherIsBetter, rates[len(rates)/2], raw),
+			mk("sgd_steps", "count", Informational, float64(last.Steps), nil),
+			mk("auc", "auc", Informational, embed.LinkAUC(last.Emb, sp), nil),
+		)
+	}
+	return out, nil
+}

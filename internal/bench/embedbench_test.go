@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+// TestMeasureEmbedRows pins the embed experiment's row contract: one
+// gated steps/sec row plus the two informational rows per worker count,
+// identical step counts and AUC across counts (the determinism claim the
+// rows ride on), and a sane AUC on the easy geometric instance.
+func TestMeasureEmbedRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training is slow for -short")
+	}
+	cfg := RunConfig{Runs: 1, Scale: 1, EmbedWorkers: []int{1, 2}}
+	ms, err := measureEmbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Metric{}
+	for _, m := range ms {
+		byKey[m.Key()] = m
+	}
+	if len(byKey) != len(ms) {
+		t.Fatalf("duplicate metric keys in %d rows", len(ms))
+	}
+	var steps, auc [2]float64
+	for i, w := range []int{1, 2} {
+		id := Metric{Experiment: "embed", Instance: "rgg4000", Mapper: "gosh", Builder: "sort", Workers: w}
+		rate := id
+		rate.Name = "steps_per_sec"
+		m, ok := byKey[rate.Key()]
+		if !ok {
+			t.Fatalf("missing row %s", rate.Key())
+		}
+		if m.Direction != HigherIsBetter || m.Value <= 0 || len(m.Samples) != 1 {
+			t.Errorf("steps_per_sec w=%d: dir=%v value=%v samples=%d", w, m.Direction, m.Value, len(m.Samples))
+		}
+		for _, name := range []string{"sgd_steps", "auc"} {
+			info := id
+			info.Name = name
+			m, ok := byKey[info.Key()]
+			if !ok {
+				t.Fatalf("missing row %s", info.Key())
+			}
+			if m.Direction != Informational {
+				t.Errorf("%s w=%d gates; want informational", name, w)
+			}
+			if name == "sgd_steps" {
+				steps[i] = m.Value
+			} else {
+				auc[i] = m.Value
+			}
+		}
+	}
+	if steps[0] != steps[1] {
+		t.Errorf("step counts differ across workers: %v vs %v", steps[0], steps[1])
+	}
+	if auc[0] != auc[1] {
+		t.Errorf("AUC differs across workers: %v vs %v", auc[0], auc[1])
+	}
+	if auc[0] < 0.85 {
+		t.Errorf("AUC %.4f suspiciously low for rgg", auc[0])
+	}
+}

@@ -64,6 +64,15 @@ type RunConfig struct {
 	// visible in the baseline history.
 	ObsOverhead bool `json:"obs_overhead,omitempty"`
 
+	// Embed adds the "embed" experiment: multilevel SGD training
+	// throughput (steps/sec, gated) on a fixed RGG instance at each
+	// EmbedWorkers count, plus the link-prediction AUC of the trained
+	// embedding as an informational row (see embedbench.go). Like
+	// HeadToHeadWorkers, EmbedWorkers are explicit — the parallel-SGD
+	// determinism claim is pinned at fixed counts, not GOMAXPROCS.
+	Embed        bool  `json:"embed,omitempty"`
+	EmbedWorkers []int `json:"embed_workers,omitempty"`
+
 	// IOBandwidth adds the "ingest" and "hierio" experiments: MB/s of
 	// text (sequential and streaming-parallel), legacy binary, and
 	// container ingest on a fixed RMAT instance, plus hierarchy container
@@ -98,6 +107,10 @@ func FastConfig() RunConfig {
 		ServeConcurrency: []int{1, 8},
 		ObsOverhead:      true,
 		IOBandwidth:      true,
+		// The embedding pipeline: training throughput at the same pinned
+		// counts as the head-to-head rows.
+		Embed:        true,
+		EmbedWorkers: []int{1, 8},
 	}
 }
 
@@ -120,6 +133,8 @@ func FullConfig() RunConfig {
 		ServeQueries:     96,
 		ObsOverhead:      true,
 		IOBandwidth:      true,
+		Embed:            true,
+		EmbedWorkers:     []int{1, 8},
 	}
 	for _, inst := range (Options{}).Suite() {
 		cfg.Instances = append(cfg.Instances, inst.Name)
@@ -239,6 +254,14 @@ func RunBaseline(cfg RunConfig) (*Baseline, error) {
 	// The telemetry-tax experiment: histogram record path cost.
 	if cfg.ObsOverhead {
 		b.Metrics = append(b.Metrics, measureObsOverhead(cfg.Runs)...)
+	}
+	// The embedding experiment: multilevel SGD throughput and AUC.
+	if cfg.Embed {
+		ms, err := measureEmbed(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.Metrics = append(b.Metrics, ms...)
 	}
 	// The IO experiments: ingest and hierarchy persistence bandwidth.
 	if cfg.IOBandwidth {

@@ -1,0 +1,48 @@
+package cli
+
+import "mlcg/internal/par"
+
+// Seeds holds the per-subsystem RNG roots derived from the single
+// user-facing -seed flag. Each stream is Mix64-separated from the root and
+// from every other stream, so subsystems cannot alias each other's
+// randomness: changing how many negatives the trainer draws, say, can
+// never perturb which edges the evaluation split holds out. Every command
+// derives its streams with DeriveSeeds, which makes "same -seed, same
+// output" a cross-command guarantee rather than a per-command accident.
+type Seeds struct {
+	// Root echoes the -seed value the user passed.
+	Root uint64
+	// Graph keys synthetic-instance generation (the -gen families).
+	Graph uint64
+	// Coarsen keys mapper tie-breaks and hierarchy construction.
+	Coarsen uint64
+	// Partition keys partitioner randomness (FM passes, spectral starts).
+	Partition uint64
+	// Embed keys embedding training: init, edge order, negative sampling.
+	Embed uint64
+	// Eval keys evaluation hold-out splits (link prediction).
+	Eval uint64
+}
+
+// Domain-separation constants: ASCII tags of the stream names, xored into
+// the root before mixing so the streams are pairwise independent.
+const (
+	seedTagGraph     = 0x6772617068     // "graph"
+	seedTagCoarsen   = 0x636f617273656e // "coarsen"
+	seedTagPartition = 0x7061727469746e // "partitn"
+	seedTagEmbed     = 0x656d626564     // "embed"
+	seedTagEval      = 0x6576616c       // "eval"
+)
+
+// DeriveSeeds expands one root seed into the independent subsystem
+// streams.
+func DeriveSeeds(root uint64) Seeds {
+	return Seeds{
+		Root:      root,
+		Graph:     par.Mix64(root ^ seedTagGraph),
+		Coarsen:   par.Mix64(root ^ seedTagCoarsen),
+		Partition: par.Mix64(root ^ seedTagPartition),
+		Embed:     par.Mix64(root ^ seedTagEmbed),
+		Eval:      par.Mix64(root ^ seedTagEval),
+	}
+}

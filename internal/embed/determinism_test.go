@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"mlcg/internal/coarsen"
+	"mlcg/internal/gen"
+	"mlcg/internal/graph"
+)
+
+// detCases is the table the determinism sweep runs over: one instance per
+// generator family of the suite (regular lattice, geometric, triangulated,
+// preferential-attachment, web-crawl, chain), laptop-sized so the
+// p ∈ {1,2,4,8} × instances sweep stays fast under -race.
+func detCases() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid2d", gen.Grid2D(40, 40)},
+		{"trimesh", gen.TriMesh(36, 36, 15)},
+		{"rgg", gen.RGG(2500, 0, 11)},
+		{"ba", gen.BA(1500, 6, 12)},
+		{"weblike", gen.WebLike(2000, 13)},
+		{"chainlike", gen.ChainLike(2500, 14)},
+	}
+}
+
+func buildHierarchy(t *testing.T, g *graph.Graph) *coarsen.Hierarchy {
+	t.Helper()
+	c := &coarsen.Coarsener{Mapper: coarsen.GOSH{}, Builder: &coarsen.AutoConstruct{}, Seed: 5, Workers: 4}
+	h, err := c.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// bitsEqual compares float32 slices bit for bit — "byte-identical" taken
+// literally (and immune to NaN != NaN surprises).
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEmbedDeterminismAcrossWorkers is the PR 2 schedule-independence
+// discipline applied to the training loop: the same hierarchy, options,
+// and seed must give byte-identical embeddings at every worker count.
+// Runs under -race via `make test-determinism`.
+func TestEmbedDeterminismAcrossWorkers(t *testing.T) {
+	for _, tc := range detCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			h := buildHierarchy(t, tc.g)
+			var ref *Result
+			for _, p := range []int{1, 2, 4, 8} {
+				opt := Options{Dim: 16, Epochs: 4, Negatives: 3, Seed: 99, Workers: p}
+				res, err := TrainHierarchy(h, opt)
+				if err != nil {
+					t.Fatalf("p=%d: %v", p, err)
+				}
+				if res.Emb.N != tc.g.NumV {
+					t.Fatalf("p=%d: embedding has %d rows, want %d", p, res.Emb.N, tc.g.NumV)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if !bitsEqual(ref.Emb.Vecs, res.Emb.Vecs) {
+					t.Errorf("p=%d: embedding differs from p=1", p)
+				}
+				if ref.Steps != res.Steps || ref.Negatives != res.Negatives {
+					t.Errorf("p=%d: steps/negatives (%d, %d) differ from p=1 (%d, %d)",
+						p, res.Steps, res.Negatives, ref.Steps, ref.Negatives)
+				}
+			}
+		})
+	}
+}
+
+// TestEmbedFlatDeterminismAcrossWorkers covers the single-level path the
+// multilevel-vs-flat comparison depends on.
+func TestEmbedFlatDeterminismAcrossWorkers(t *testing.T) {
+	g := gen.RGG(2000, 0, 31)
+	var ref []float32
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := TrainFlat(g, 4, Options{Dim: 16, Negatives: 3, Seed: 7, Workers: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if ref == nil {
+			ref = res.Emb.Vecs
+			continue
+		}
+		if !bitsEqual(ref, res.Emb.Vecs) {
+			t.Errorf("p=%d: flat embedding differs from p=1", p)
+		}
+	}
+}
+
+// TestEmbedSeedSensitivity pins that the seed actually matters: two seeds
+// must give different embeddings (the complement of the determinism test,
+// and the regression net for accidentally ignoring a seed somewhere).
+func TestEmbedSeedSensitivity(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	h := buildHierarchy(t, g)
+	a, err := TrainHierarchy(h, Options{Dim: 8, Epochs: 2, Negatives: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainHierarchy(h, Options{Dim: 8, Epochs: 2, Negatives: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitsEqual(a.Emb.Vecs, b.Emb.Vecs) {
+		t.Error("different seeds produced identical embeddings")
+	}
+	c, err := TrainHierarchy(h, Options{Dim: 8, Epochs: 2, Negatives: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(a.Emb.Vecs, c.Emb.Vecs) {
+		t.Error("same seed produced different embeddings across runs")
+	}
+}

@@ -1,0 +1,161 @@
+package embed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// The embedding sidecar format: a versioned, checksummed binary file that
+// rides alongside a .mlcg hierarchy container (same magic discipline as
+// docs/FORMAT.md, one section, no section table — an embedding is a single
+// dense matrix and does not need the container machinery).
+//
+// Layout (all integers little-endian):
+//
+//	off  size  field
+//	0    8     magic "MLCGEB01" (version in the last two bytes)
+//	8    4     flags (reserved, 0)
+//	12   4     dim
+//	16   8     n (row count)
+//	24   8     seed (the training seed, informational)
+//	32   4     header CRC-32C of bytes [0, 32)
+//	36   n*dim*4  rows, row-major float32
+//	end  4     payload CRC-32C of the row bytes
+//
+// Load reads the payload in bounded chunks, so a lying header cannot make
+// it allocate more than one chunk beyond what the stream actually carries
+// (the untrusted-input discipline from graph.ReadBinary).
+
+// Magic identifies embedding sidecar files, version 01.
+const Magic = "MLCGEB01"
+
+// FileExt is the conventional filename extension for embedding sidecars.
+const FileExt = ".mlcgemb"
+
+const headerSize = 36
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// loadChunkRows bounds how many rows a single read allocates before the
+// stream has proven it carries them.
+const loadChunkBytes = 1 << 16
+
+// SaveEmbedding writes e to w in the sidecar format. seed is recorded in
+// the header so a loader can verify it evaluates against the split it was
+// trained for.
+func SaveEmbedding(w io.Writer, e *Embedding, seed uint64) error {
+	if e == nil {
+		return fmt.Errorf("embed: nil embedding")
+	}
+	if int64(len(e.Vecs)) != int64(e.N)*int64(e.Dim) {
+		return fmt.Errorf("embed: inconsistent embedding (n=%d dim=%d len=%d)", e.N, e.Dim, len(e.Vecs))
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [headerSize]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], 0)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(e.Dim))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(e.N))
+	binary.LittleEndian.PutUint64(hdr[24:32], seed)
+	binary.LittleEndian.PutUint32(hdr[32:36], crc32.Checksum(hdr[:32], crcTable))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(crcTable)
+	var buf [4]byte
+	for _, v := range e.Vecs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		crc.Write(buf[:])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:], crc.Sum32())
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadEmbedding parses a sidecar from r, returning the embedding and the
+// recorded training seed. Corrupt, truncated, or lying inputs return an
+// error; they never allocate past the next bounded chunk.
+func LoadEmbedding(r io.Reader) (*Embedding, uint64, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("embed: reading sidecar header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, 0, fmt.Errorf("embed: bad magic %q (want %q)", hdr[:8], Magic)
+	}
+	if got, want := crc32.Checksum(hdr[:32], crcTable), binary.LittleEndian.Uint32(hdr[32:36]); got != want {
+		return nil, 0, fmt.Errorf("embed: header CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	dim := binary.LittleEndian.Uint32(hdr[12:16])
+	n := binary.LittleEndian.Uint64(hdr[16:24])
+	seed := binary.LittleEndian.Uint64(hdr[24:32])
+	if dim == 0 || dim > 1<<16 {
+		return nil, 0, fmt.Errorf("embed: implausible dim %d", dim)
+	}
+	if n > 1<<40/uint64(dim) {
+		return nil, 0, fmt.Errorf("embed: implausible row count %d", n)
+	}
+	total := int64(n) * int64(dim)
+	e := &Embedding{N: int32(n), Dim: int32(dim)}
+	if uint64(e.N) != n {
+		return nil, 0, fmt.Errorf("embed: row count %d exceeds int32", n)
+	}
+	crc := crc32.New(crcTable)
+	var chunk [loadChunkBytes]byte
+	for read := int64(0); read < total*4; {
+		want := total*4 - read
+		if want > loadChunkBytes {
+			want = loadChunkBytes
+		}
+		if _, err := io.ReadFull(br, chunk[:want]); err != nil {
+			return nil, 0, fmt.Errorf("embed: sidecar truncated at row byte %d of %d: %w", read, total*4, err)
+		}
+		crc.Write(chunk[:want])
+		for off := int64(0); off < want; off += 4 {
+			e.Vecs = append(e.Vecs, math.Float32frombits(binary.LittleEndian.Uint32(chunk[off:off+4])))
+		}
+		read += want
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, 0, fmt.Errorf("embed: reading payload CRC: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, 0, fmt.Errorf("embed: payload CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return e, seed, nil
+}
+
+// SaveFile writes e to path.
+func SaveFile(path string, e *Embedding, seed uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveEmbedding(f, e, seed); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads the sidecar at path.
+func LoadFile(path string) (*Embedding, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return LoadEmbedding(f)
+}

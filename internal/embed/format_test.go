@@ -1,0 +1,155 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEmbedding(n, dim int32) *Embedding {
+	e := &Embedding{N: n, Dim: dim, Vecs: make([]float32, int(n)*int(dim))}
+	for i := range e.Vecs {
+		e.Vecs[i] = float32(i)*0.25 - 3
+	}
+	return e
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, dim int32 }{
+		{1, 1},
+		{7, 3},
+		{100, 32},
+		{1000, 64},
+	} {
+		e := testEmbedding(tc.n, tc.dim)
+		var buf bytes.Buffer
+		if err := SaveEmbedding(&buf, e, 0xdeadbeef); err != nil {
+			t.Fatalf("n=%d dim=%d: save: %v", tc.n, tc.dim, err)
+		}
+		got, seed, err := LoadEmbedding(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d dim=%d: load: %v", tc.n, tc.dim, err)
+		}
+		if seed != 0xdeadbeef {
+			t.Errorf("seed round-trip: got %x", seed)
+		}
+		if got.N != e.N || got.Dim != e.Dim || !bitsEqual(got.Vecs, e.Vecs) {
+			t.Errorf("n=%d dim=%d: embedding did not round-trip", tc.n, tc.dim)
+		}
+	}
+}
+
+func TestFormatFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e"+FileExt)
+	e := testEmbedding(50, 8)
+	if err := SaveFile(path, e, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, seed, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 42 || !bitsEqual(got.Vecs, e.Vecs) {
+		t.Error("file round-trip mismatch")
+	}
+}
+
+// TestFormatSpecialFloats pins that NaN and infinity payloads survive
+// bit-exactly — the loader must not normalize them.
+func TestFormatSpecialFloats(t *testing.T) {
+	e := &Embedding{N: 1, Dim: 4, Vecs: []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), -0,
+	}}
+	var buf bytes.Buffer
+	if err := SaveEmbedding(&buf, e, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadEmbedding(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(got.Vecs, e.Vecs) {
+		t.Error("special floats did not round-trip bit-exactly")
+	}
+}
+
+func validSidecar(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveEmbedding(&buf, testEmbedding(10, 4), 7); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFormatHostileInputs feeds the loader corrupt, truncated, and lying
+// sidecars; every one must error, none may panic or over-allocate.
+func TestFormatHostileInputs(t *testing.T) {
+	good := validSidecar(t)
+	reheader := func(mut func(hdr []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b[:32])
+		binary.LittleEndian.PutUint32(b[32:36], crc32.Checksum(b[:32], crc32.MakeTable(crc32.Castagnoli)))
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "header"},
+		{"short header", good[:10], "header"},
+		{"bad magic", append([]byte("NOTMAGIC"), good[8:]...), "magic"},
+		{"header crc", func() []byte {
+			b := append([]byte(nil), good...)
+			b[12] ^= 0xff // corrupt dim without fixing the CRC
+			return b
+		}(), "header CRC"},
+		{"zero dim", reheader(func(h []byte) {
+			binary.LittleEndian.PutUint32(h[12:16], 0)
+		}), "implausible dim"},
+		{"huge dim", reheader(func(h []byte) {
+			binary.LittleEndian.PutUint32(h[12:16], 1<<20)
+		}), "implausible dim"},
+		{"lying row count", reheader(func(h []byte) {
+			binary.LittleEndian.PutUint64(h[16:24], 1<<30)
+		}), "truncated"},
+		{"absurd row count", reheader(func(h []byte) {
+			binary.LittleEndian.PutUint64(h[16:24], 1<<60)
+		}), "implausible row count"},
+		{"truncated payload", good[:len(good)-20], "truncated"},
+		{"missing payload crc", good[:len(good)-2], "payload CRC"},
+		{"corrupt payload", func() []byte {
+			b := append([]byte(nil), good...)
+			b[headerSize+5] ^= 0x01
+			return b
+		}(), "payload CRC mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadEmbedding(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("hostile input loaded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFormatSaveRejectsInconsistent pins the writer-side validation.
+func TestFormatSaveRejectsInconsistent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveEmbedding(&buf, nil, 0); err == nil {
+		t.Error("nil embedding saved without error")
+	}
+	bad := &Embedding{N: 3, Dim: 4, Vecs: make([]float32, 5)}
+	if err := SaveEmbedding(&buf, bad, 0); err == nil {
+		t.Error("length-mismatched embedding saved without error")
+	}
+}

@@ -1,0 +1,371 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlcg/internal/graph"
+	"mlcg/internal/obs"
+	"mlcg/internal/par"
+)
+
+// maxChunkTasks caps the number of SGD tasks per two-phase round. Within
+// a chunk all gradient computations read the same frozen parameters
+// (minibatch semantics); across chunks updates are visible. 1024 tasks at
+// the default 5 negatives and dim 32 keep the scratch under 2 MiB while
+// amortizing the two parallel-region spawns per round.
+const maxChunkTasks = 1024
+
+// minChunkTasks floors the chunk size so tiny graphs still amortize the
+// round structure.
+const minChunkTasks = 8
+
+// chunkFor sizes the two-phase round for a level with n vertices. Frozen
+// parameters mean a row touched k times in one chunk takes k same-direction
+// steps with no sigmoid feedback between them — an effective learning rate
+// of k*lr. Capping the chunk near n/rowsPerTask keeps the expected touches
+// per row around one, which restores sequential-SGD's self-damping and
+// keeps small coarse graphs (where one epoch would otherwise be a single
+// frozen chunk) from diverging. Depends only on (n, rpt), never on the
+// worker count, so determinism across p is untouched.
+func chunkFor(n, rpt int) int {
+	c := n / rpt
+	if c < minChunkTasks {
+		c = minChunkTasks
+	}
+	if c > maxChunkTasks {
+		c = maxChunkTasks
+	}
+	return c
+}
+
+// negResampleTries bounds the rejection loop when a drawn negative equals
+// an endpoint of the positive pair. After the bound the sample is accepted
+// anyway (a bounded deterministic loop; occasional true-edge negatives are
+// ordinary sampling noise).
+const negResampleTries = 8
+
+// workspace holds every scratch buffer of the trainer so steady-state
+// epochs allocate nothing (the coarsen.Workspace discipline applied to a
+// training loop). Buffers grow monotonically and are reused across levels.
+type workspace struct {
+	srcs, dsts []int32   // training edges in CSR discovery order, len m
+	perm       []int32   // per-level pseudo-random edge order, len m
+	cum        []float64 // inclusive prefix of deg^0.75, len n (negative table)
+	total      float64   // cum[n-1]
+	rows       []int32   // chunk scratch: row id per delta slot
+	delta      []float32 // chunk scratch: one dim-length delta per slot
+	negDrawn   []int64   // per-worker drawn-negative counts, stride padded
+}
+
+func newWorkspace() *workspace { return &workspace{} }
+
+// negStride pads the per-worker counters to separate cache lines.
+const negStride = 8
+
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+// prepareLevel extracts the level's edge list, builds the degree^0.75
+// negative-sampling table, and fixes the level's edge order. The order is
+// drawn once per level (epochs vary their negatives, not their edge
+// order), keyed by levelKey so it is identical at every worker count.
+func (ws *workspace) prepareLevel(g *graph.Graph, levelKey uint64, p int) {
+	n, m := g.N(), int(g.M())
+	ws.srcs = growI32(ws.srcs, m)
+	ws.dsts = growI32(ws.dsts, m)
+	e := 0
+	for u := int32(0); u < g.NumV; u++ {
+		adj, _ := g.Neighbors(u)
+		for _, v := range adj {
+			if v > u {
+				ws.srcs[e], ws.dsts[e] = u, v
+				e++
+			}
+		}
+	}
+	ws.cum = growF64(ws.cum, n)
+	var running float64
+	for u := 0; u < n; u++ {
+		d := float64(g.Xadj[u+1] - g.Xadj[u])
+		running += math.Pow(d, 0.75)
+		ws.cum[u] = running
+	}
+	ws.total = running
+	if m > 0 {
+		ws.perm = par.RandPerm(m, par.Mix64(levelKey^0x7065726d), p)
+	} else {
+		ws.perm = ws.perm[:0]
+	}
+}
+
+// trainer is the per-level SGD state. Its phase methods are hoisted into
+// the fa/fb closures once per level so the epoch loop itself allocates
+// nothing (TestEmbedWorkspaceReuse pins that at literal zero).
+type trainer struct {
+	emb      *Embedding
+	ws       *workspace
+	m        int // training edges of the level
+	dim      int
+	negs     int
+	p        int
+	lr       float32
+	epochKey uint64
+	chunk    int // tasks per two-phase round (chunkFor)
+	base     int // first task of the current chunk
+	cnt      int // tasks in the current chunk
+
+	fa, fb func(w, lo, hi int)
+}
+
+// newTrainer prepares the level: edge extraction, negative table, edge
+// order, scratch sizing, and the hoisted phase closures.
+func newTrainer(g *graph.Graph, emb *Embedding, ws *workspace, levelKey uint64, opt Options) *trainer {
+	m := int(g.M())
+	p := par.Workers(opt.Workers, m)
+	ws.prepareLevel(g, levelKey, p)
+	tr := &trainer{emb: emb, ws: ws, m: m, dim: int(emb.Dim), negs: opt.Negatives, p: p}
+	rpt := tr.rowsPerTask()
+	tr.chunk = chunkFor(g.N(), rpt)
+	maxChunk := tr.chunk
+	if m < maxChunk {
+		maxChunk = m
+	}
+	ws.rows = growI32(ws.rows, maxChunk*rpt)
+	ws.delta = growF32(ws.delta, maxChunk*rpt*tr.dim)
+	ws.negDrawn = growI64(ws.negDrawn, p*negStride)
+	tr.fa, tr.fb = tr.phaseA, tr.phaseB
+	return tr
+}
+
+// runEpoch executes one pass over the level's edges in chunked two-phase
+// rounds at the current lr/epochKey and returns the drawn-negative count.
+// Allocation-free: every buffer it touches was sized by newTrainer.
+func (t *trainer) runEpoch() int64 {
+	ws := t.ws
+	for i := range ws.negDrawn {
+		ws.negDrawn[i] = 0
+	}
+	for base := 0; base < t.m; base += t.chunk {
+		cnt := t.chunk
+		if t.m-base < cnt {
+			cnt = t.m - base
+		}
+		t.base, t.cnt = base, cnt
+		par.For(cnt, t.p, t.fa)
+		par.For(t.p, t.p, t.fb)
+	}
+	var drawn int64
+	for w := 0; w < t.p; w++ {
+		drawn += ws.negDrawn[w*negStride]
+	}
+	return drawn
+}
+
+// rowsPerTask is 2 + negs: the source row accumulates across all pairs of
+// the task, the positive destination and each negative get one slot.
+func (t *trainer) rowsPerTask() int { return 2 + t.negs }
+
+// taskState derives the task's private SplitMix64 state from
+// (epochKey, task). Keying by logical task — not by worker — is what makes
+// the drawn negatives independent of the parallel schedule.
+func taskState(epochKey uint64, task int) uint64 {
+	return par.Mix64(epochKey ^ (uint64(task)+1)*0x94d049bb133111eb)
+}
+
+// sampleNeg draws one vertex from the deg^0.75 distribution.
+func (t *trainer) sampleNeg(state *uint64) int32 {
+	r := float64(par.SplitMix64(state)>>11) / (1 << 53) * t.ws.total
+	i := sort.SearchFloat64s(t.ws.cum, r)
+	if i >= len(t.ws.cum) {
+		i = len(t.ws.cum) - 1
+	}
+	return int32(i)
+}
+
+func sigmoid(x float64) float64 {
+	if x > 8 {
+		x = 8
+	} else if x < -8 {
+		x = -8
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// phaseA computes gradient deltas for tasks [base+lo, base+hi) of the
+// current chunk into the per-slot scratch. It reads embedding rows that
+// are frozen for the whole chunk and writes only slots owned by the task,
+// so the parallel schedule cannot influence any value.
+func (t *trainer) phaseA(w, lo, hi int) {
+	dim, rpt := t.dim, t.rowsPerTask()
+	ws, emb := t.ws, t.emb
+	var drawn int64
+	for s := lo; s < hi; s++ {
+		task := t.base + s
+		e := int(ws.perm[task])
+		u, v := ws.srcs[e], ws.dsts[e]
+		slot := s * rpt
+		rows := ws.rows[slot : slot+rpt]
+		delta := ws.delta[slot*dim : (slot+rpt)*dim]
+		du := delta[:dim]
+		for j := range du {
+			du[j] = 0
+		}
+		rows[0], rows[1] = u, v
+		eu := emb.Row(u)
+
+		// Positive pair (u, v): pull together.
+		ev := emb.Row(v)
+		var dot float64
+		for j := 0; j < dim; j++ {
+			dot += float64(eu[j]) * float64(ev[j])
+		}
+		g := t.lr * float32(1-sigmoid(dot))
+		dv := delta[dim : 2*dim]
+		for j := 0; j < dim; j++ {
+			du[j] += g * ev[j]
+			dv[j] = g * eu[j]
+		}
+
+		// Negative pairs: push apart. Each negative owns its own slot, so
+		// duplicate draws within a task still apply in fixed slot order.
+		state := taskState(t.epochKey, task)
+		for k := 0; k < t.negs; k++ {
+			c := t.sampleNeg(&state)
+			drawn++
+			for try := 0; (c == u || c == v) && try < negResampleTries; try++ {
+				c = t.sampleNeg(&state)
+				drawn++
+			}
+			rows[2+k] = c
+			ec := emb.Row(c)
+			dot = 0
+			for j := 0; j < dim; j++ {
+				dot += float64(eu[j]) * float64(ec[j])
+			}
+			g = -t.lr * float32(sigmoid(dot))
+			dc := delta[(2+k)*dim : (3+k)*dim]
+			for j := 0; j < dim; j++ {
+				du[j] += g * ec[j]
+				dc[j] = g * eu[j]
+			}
+		}
+	}
+	ws.negDrawn[w*negStride] += drawn
+}
+
+// phaseB applies the chunk's deltas. Each embedding row is owned by
+// exactly one worker (row mod p) and every owner scans the slots in task
+// order, so per-row float32 addition order is fixed no matter how many
+// workers run or how they are scheduled.
+func (t *trainer) phaseB(w, _, _ int) {
+	dim := t.dim
+	ws, emb := t.ws, t.emb
+	slots := t.cnt * t.rowsPerTask()
+	for idx := 0; idx < slots; idx++ {
+		r := ws.rows[idx]
+		if int(r)%t.p != w {
+			continue
+		}
+		row := emb.Row(r)
+		d := ws.delta[idx*dim : (idx+1)*dim]
+		for j := 0; j < dim; j++ {
+			row[j] += d[j]
+		}
+	}
+}
+
+// levelTrainStats are the per-level step counts trainLevel reports up.
+type levelTrainStats struct {
+	steps     int64
+	negatives int64
+}
+
+// trainLevel runs the level's epochs. The learning rate decays linearly
+// from lr0 to 0.1*lr0 across the level's epochs (a single epoch trains at
+// lr0). Byte-identical output at every worker count; see the package
+// comment for the two mechanisms.
+func trainLevel(g *graph.Graph, emb *Embedding, ws *workspace, level uint64, epochs int, lr0 float64, opt Options) (levelTrainStats, error) {
+	var st levelTrainStats
+	if g.NumV != emb.N {
+		return st, fmt.Errorf("embedding has %d rows, graph has %d vertices", emb.N, g.NumV)
+	}
+	m := int(g.M())
+	if m == 0 || epochs <= 0 {
+		return st, nil
+	}
+	levelKey := par.Mix64(opt.Seed ^ (level+1)*0x9e3779b97f4a7c15)
+	tr := newTrainer(g, emb, ws, levelKey, opt)
+
+	var span *obs.Span
+	if obs.Enabled() {
+		span = obs.StartKernel("embed:train")
+		defer span.Done()
+	}
+	for e := 0; e < epochs; e++ {
+		lr := lr0
+		if epochs > 1 {
+			lr = lr0 * (1 - 0.9*float64(e)/float64(epochs-1))
+		}
+		tr.lr = float32(lr)
+		tr.epochKey = par.Mix64(levelKey ^ (uint64(e)+1)*0xbf58476d1ce4e5b9)
+		drawn := tr.runEpoch()
+		st.steps += int64(m)
+		st.negatives += drawn
+		span.Add(obs.CtrEmbedSGDSteps, int64(m))
+		span.Add(obs.CtrEmbedNegatives, drawn)
+	}
+	return st, nil
+}
+
+// projectRows carries a coarse embedding one level finer: every fine
+// vertex starts from its aggregate's vector. The level maps are the same
+// arrays coarsen.Hierarchy.ProjectToFine walks; here whole rows are copied
+// instead of labels.
+func projectRows(coarse *Embedding, m []int32, p int) *Embedding {
+	dim := int(coarse.Dim)
+	fine := &Embedding{N: int32(len(m)), Dim: coarse.Dim, Vecs: make([]float32, len(m)*dim)}
+	par.ForEach(len(m), p, func(u int) {
+		copy(fine.Vecs[u*dim:(u+1)*dim], coarse.Row(m[u]))
+	})
+	obs.Add(obs.CtrEmbedProjRows, int64(len(m)))
+	return fine
+}
+
+// fillRandomRows writes small deterministic pseudo-random values in
+// [-0.5/dim, 0.5/dim) keyed by (seed, element index) — independent of the
+// worker count, like every other stream in the package.
+func fillRandomRows(vecs []float32, start int, seed uint64, dim, p int) {
+	inv := 1.0 / float64(dim)
+	par.ForEach(len(vecs)-start, p, func(i int) {
+		idx := start + i
+		r := float64(par.Mix64(seed+uint64(idx))>>11) / (1 << 53) // [0,1)
+		vecs[idx] = float32((r - 0.5) * inv)
+	})
+}

@@ -62,6 +62,15 @@ const (
 	CtrMIS2FastRounds
 	CtrMIS2FastFrontier
 
+	// The embed counters instrument the multilevel SGD trainer
+	// (internal/embed): CtrEmbedSGDSteps counts positive-sample SGD steps
+	// (one per training edge per epoch), CtrEmbedNegatives counts drawn
+	// negative samples, and CtrEmbedProjRows counts embedding rows copied
+	// by hierarchy projection (coarse level -> fine level).
+	CtrEmbedSGDSteps
+	CtrEmbedNegatives
+	CtrEmbedProjRows
+
 	numCounters
 )
 
@@ -87,6 +96,10 @@ var counterNames = [numCounters]string{
 
 	CtrMIS2FastRounds:   "mis2fast_rounds",
 	CtrMIS2FastFrontier: "mis2fast_frontier",
+
+	CtrEmbedSGDSteps:  "embed_sgd_steps",
+	CtrEmbedNegatives: "embed_negatives",
+	CtrEmbedProjRows:  "embed_proj_rows",
 }
 
 // String returns the stable metric name of c.
